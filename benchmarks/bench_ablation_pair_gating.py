@@ -1,0 +1,49 @@
+"""Ablation: the sense-amp pair-gating constraint (Section 6.1).
+
+GreenDIMM gates a sub-array group only when its sense-amp partner is
+also off-lined; this bench quantifies how much gated capacity that
+costs against an unconstrained design.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import Table
+from repro.core.config import GreenDIMMConfig
+from repro.core.system import GreenDIMMSystem
+from repro.experiments.common import ExperimentResult
+from repro.sim.server import ServerSimulator
+from repro.units import MIB
+from repro.workloads import profile_by_name
+from repro.experiments.blocksize_study import study_organization
+
+
+def _mean_dpd(pair_gating: bool) -> float:
+    config = GreenDIMMConfig(block_bytes=128 * MIB, pair_gating=pair_gating)
+    system = GreenDIMMSystem(organization=study_organization(), config=config,
+                             kernel_boot_bytes=512 * MIB,
+                             transient_failure_probability=0.5, seed=13)
+    sim = ServerSimulator(system, seed=13)
+    result = sim.run_workload(profile_by_name("403.gcc"), epoch_s=2.0)
+    return sum(s.dpd_fraction for s in result.samples) / len(result.samples)
+
+
+def run_ablation(fast: bool = True) -> ExperimentResult:
+    paired = _mean_dpd(True)
+    free = _mean_dpd(False)
+    table = Table("Ablation — pair-gating constraint",
+                  ["configuration", "mean gated capacity fraction"])
+    table.add_row("pair gating (paper)", f"{paired:.1%}")
+    table.add_row("independent groups", f"{free:.1%}")
+    return ExperimentResult(
+        experiment="ablation_pair_gating",
+        description="gated capacity lost to the shared-sense-amp pairing",
+        tables=[table],
+        measured={"paired": paired, "independent": free,
+                  "cost_fraction": (free - paired) / free if free else 0.0})
+
+
+def test_ablation_pair_gating(benchmark, fast_mode):
+    result = benchmark.pedantic(run_ablation, kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert result.measured["independent"] >= result.measured["paired"] - 1e-9

@@ -1,0 +1,15 @@
+"""Daemon-cost bench (Section 6.2's 0.34%/0.16% core-share claim)."""
+
+from conftest import emit
+
+from repro.experiments import daemon_overhead
+
+
+def test_daemon_overhead(benchmark, fast_mode):
+    result = benchmark.pedantic(daemon_overhead.run,
+                                kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    # The headline: daemon cycles are a rounding error on one core.
+    assert result.measured["online_core_fraction"] < 0.01
+    assert result.measured["offline_core_fraction"] < 0.01

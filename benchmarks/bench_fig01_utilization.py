@@ -1,0 +1,18 @@
+"""Figure 1 bench: 24h memory utilization, with and without KSM."""
+
+from conftest import emit
+
+from repro.experiments import fig01_utilization
+
+
+def test_fig01_utilization(benchmark, fast_mode):
+    result = benchmark.pedantic(fig01_utilization.run,
+                                kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    measured = result.measured
+    if not fast_mode:
+        assert abs(measured["mean_utilization"] - 0.48) < 0.08
+        assert measured["min_utilization"] < 0.20
+        assert measured["max_utilization"] > 0.70
+    assert measured["ksm_mean_reduction"] > 0.10

@@ -1,0 +1,17 @@
+"""Figure 2 bench: DRAM idle/busy power vs capacity."""
+
+from conftest import emit
+
+from repro.experiments import fig02_idle_busy
+
+
+def test_fig02_idle_busy(benchmark, fast_mode):
+    result = benchmark.pedantic(fig02_idle_busy.run,
+                                kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    measured = result.measured
+    assert measured["idle_w_256gb"] == __import__("pytest").approx(18.0, rel=0.12)
+    assert measured["busy_w_256gb"] == __import__("pytest").approx(26.0, rel=0.12)
+    assert (measured["background_fraction_64gb"]
+            < measured["background_fraction_1tb"])

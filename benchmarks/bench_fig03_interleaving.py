@@ -1,0 +1,17 @@
+"""Figure 3 bench: speedup, self-refresh residency, and energy trade."""
+
+from conftest import emit
+
+from repro.experiments import fig03_interleaving
+
+
+def test_fig03_interleaving(benchmark, fast_mode):
+    result = benchmark.pedantic(fig03_interleaving.run,
+                                kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    measured = result.measured
+    assert 2.5 < measured["max_speedup"] < 6.0
+    assert measured["selfrefresh_fraction_interleaved"] < 0.05
+    assert measured["selfrefresh_fraction_non_interleaved"] > 0.40
+    assert measured["energy_reduction_wo_interleaving"] > 0.05

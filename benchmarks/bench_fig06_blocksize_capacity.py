@@ -1,0 +1,12 @@
+"""Figure 6 bench: off-lined capacity vs memory-block size."""
+
+from conftest import emit
+
+from repro.experiments.fig06_07_tab02_blocksize import run_fig06
+
+
+def test_fig06_blocksize_capacity(benchmark, fast_mode):
+    result = benchmark.pedantic(run_fig06, kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert result.measured["gcc_ratio_128_over_512"] > 1.0

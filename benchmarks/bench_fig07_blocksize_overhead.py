@@ -1,0 +1,13 @@
+"""Figure 7 bench: execution-time increase vs memory-block size."""
+
+from conftest import emit
+
+from repro.experiments.fig06_07_tab02_blocksize import run_fig07
+
+
+def test_fig07_blocksize_overhead(benchmark, fast_mode):
+    result = benchmark.pedantic(run_fig07, kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert result.measured["worst_overhead"] <= 0.035
+    assert result.measured["mcf_overhead_grows_with_smaller_blocks"]

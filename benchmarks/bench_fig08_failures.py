@@ -1,0 +1,14 @@
+"""Figure 8 bench: off-lining failures, random vs removable-first."""
+
+from conftest import emit
+
+from repro.experiments import fig08_failures
+
+
+def test_fig08_failures(benchmark, fast_mode):
+    result = benchmark.pedantic(fig08_failures.run,
+                                kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert result.measured["failure_reduction"] > 0.3
+    assert result.measured["volatile_fail_more_than_stable"]

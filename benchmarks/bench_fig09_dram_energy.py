@@ -1,0 +1,14 @@
+"""Figure 9 bench: DRAM energy under the full policy matrix."""
+
+from conftest import emit
+
+from repro.experiments.fig09_10_11_policies import run_fig09
+
+
+def test_fig09_dram_energy(benchmark, fast_mode):
+    result = benchmark.pedantic(run_fig09, kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert result.measured["spec_mean_reduction"] > 0.2
+    assert result.measured["datacenter_mean_reduction"] > 0.2
+    assert result.measured["greendimm_vs_rank_bank_pp"] > 0.25

@@ -1,0 +1,13 @@
+"""Figure 10 bench: system energy under the full policy matrix."""
+
+from conftest import emit
+
+from repro.experiments.fig09_10_11_policies import run_fig10
+
+
+def test_fig10_system_energy(benchmark, fast_mode):
+    result = benchmark.pedantic(run_fig10, kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert result.measured["spec_mean_reduction"] > 0.1
+    assert result.measured["datacenter_mean_reduction"] > 0.05

@@ -1,0 +1,12 @@
+"""Figure 11 bench: execution-time increase by GreenDIMM per app."""
+
+from conftest import emit
+
+from repro.experiments.fig09_10_11_policies import run_fig11
+
+
+def test_fig11_overhead(benchmark, fast_mode):
+    result = benchmark.pedantic(run_fig11, kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert result.measured["worst_case"] <= 0.035

@@ -1,0 +1,18 @@
+"""Figure 12 bench: off-lined blocks over the Azure VM trace."""
+
+from conftest import emit
+
+from repro.experiments import fig12_offlined_blocks
+
+
+def test_fig12_offlined_blocks(benchmark, fast_mode):
+    result = benchmark.pedantic(fig12_offlined_blocks.run,
+                                kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    measured = result.measured
+    assert measured["max_offline_blocks"] > measured["min_offline_blocks"]
+    assert measured["mean_offline_blocks"] > 60
+    assert measured["ksm_extra_blocks"] > 4
+    assert (measured["ksm_background_power_reduction"]
+            > measured["background_power_reduction"])

@@ -1,0 +1,17 @@
+"""Figure 13 bench: DRAM/system power savings vs memory capacity."""
+
+from conftest import emit
+
+from repro.experiments import fig13_capacity_scaling
+
+
+def test_fig13_capacity_scaling(benchmark, fast_mode):
+    result = benchmark.pedantic(fig13_capacity_scaling.run,
+                                kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    measured = result.measured
+    assert measured["dram_reduction_256gb"] > 0.15
+    assert measured["system_reduction_1tb"] > measured["system_reduction_256gb"]
+    assert (measured["ksm_dram_reduction_1tb"]
+            > measured["dram_reduction_1tb"])

@@ -1,0 +1,63 @@
+"""Whole-catalog sweep: GreenDIMM across every synthetic SPEC profile.
+
+A breadth regression beyond the paper's selected set: every profile in
+the catalog must show non-negative DRAM savings and overhead inside the
+paper's <3.5% band.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import Table
+from repro.core.config import GreenDIMMConfig
+from repro.core.system import GreenDIMMSystem
+from repro.experiments.blocksize_study import study_organization
+from repro.experiments.common import ExperimentResult
+from repro.sim.server import ServerSimulator
+from repro.units import MIB
+from repro.workloads.datacenter import DATACENTER_PROFILES
+from repro.workloads.spec import SPEC_PROFILES
+
+
+def run_sweep(fast: bool = True) -> ExperimentResult:
+    profiles = dict(SPEC_PROFILES)
+    if not fast:
+        profiles.update(DATACENTER_PROFILES)
+    table = Table("Catalog sweep — GreenDIMM on every profile (8GB server)",
+                  ["application", "suite", "offline ev", "online ev",
+                   "energy saved", "overhead"])
+    savings = {}
+    overheads = {}
+    for index, (name, profile) in enumerate(sorted(profiles.items())):
+        if profile.peak_footprint_bytes > 6 * (1 << 30):
+            continue  # larger than the sweep platform can host
+        system = GreenDIMMSystem(
+            organization=study_organization(),
+            config=GreenDIMMConfig(block_bytes=128 * MIB),
+            kernel_boot_bytes=512 * MIB,
+            transient_failure_probability=0.6, seed=300 + index)
+        simulator = ServerSimulator(system, seed=300 + index)
+        result = simulator.run_workload(profile, epoch_s=2.0 if fast else 1.0)
+        savings[name] = result.dram_energy_saving
+        overheads[name] = result.overhead_fraction
+        table.add_row(name, profile.suite.value, result.offline_events,
+                      result.online_events,
+                      f"{result.dram_energy_saving:.1%}",
+                      f"{result.overhead_fraction:.2%}")
+    return ExperimentResult(
+        experiment="suite_sweep",
+        description="breadth regression over the whole workload catalog",
+        tables=[table],
+        measured={
+            "profiles_run": len(savings),
+            "min_saving": min(savings.values()),
+            "worst_overhead": max(overheads.values()),
+        })
+
+
+def test_suite_sweep(benchmark, fast_mode):
+    result = benchmark.pedantic(run_sweep, kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert result.measured["profiles_run"] >= 25
+    assert result.measured["min_saving"] > 0.0
+    assert result.measured["worst_overhead"] <= 0.035

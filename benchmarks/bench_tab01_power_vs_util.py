@@ -1,0 +1,14 @@
+"""Table 1 bench: DRAM power vs utilization of memory capacity."""
+
+from conftest import emit
+
+from repro.experiments import tab01_power_vs_util
+
+
+def test_tab01_power_vs_util(benchmark, fast_mode):
+    result = benchmark.pedantic(tab01_power_vs_util.run,
+                                kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    # Unmanaged power must be flat; the gated column proportional.
+    assert result.measured["spread_w"] < 0.5

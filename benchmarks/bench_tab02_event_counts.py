@@ -1,0 +1,12 @@
+"""Table 2 bench: on/off-lining event counts vs block size."""
+
+from conftest import emit
+
+from repro.experiments.fig06_07_tab02_blocksize import run_tab02
+
+
+def test_tab02_event_counts(benchmark, fast_mode):
+    result = benchmark.pedantic(run_tab02, kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert result.measured["gcc_events_128"] > result.measured["mcf_events_128"]

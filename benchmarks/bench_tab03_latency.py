@@ -1,0 +1,18 @@
+"""Table 3 bench: hot-plug operation latencies."""
+
+import pytest
+from conftest import emit
+
+from repro.experiments import tab03_latency
+
+
+def test_tab03_latency(benchmark, fast_mode):
+    result = benchmark.pedantic(tab03_latency.run,
+                                kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    measured = result.measured
+    assert measured["offline_ms"] == pytest.approx(1.58, rel=0.05)
+    assert measured["eagain_ms"] / measured["offline_ms"] == pytest.approx(
+        4.37 / 1.58, rel=0.05)
+    assert measured["ebusy_us"] < 50

@@ -1,0 +1,16 @@
+"""Tail-latency bench: rank low-power hurts the tail; GreenDIMM doesn't."""
+
+from conftest import emit
+
+from repro.experiments import tail_latency
+
+
+def test_tail_latency(benchmark, fast_mode):
+    result = benchmark.pedantic(tail_latency.run,
+                                kwargs={"fast": fast_mode},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert result.measured["rank_policy_p99_inflation"] > 1.02
+    assert result.measured["greendimm_p99_inflation"] == 1.0
+    assert result.measured["greendimm_wakeups"] <= result.measured[
+        "rank_policy_wakeups"]

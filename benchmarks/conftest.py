@@ -1,0 +1,32 @@
+"""Benchmark-harness plumbing.
+
+Every bench regenerates one of the paper's tables/figures, prints the
+rows (run pytest with ``-s`` to see them live), and appends the rendered
+output to ``benchmarks/results/`` so EXPERIMENTS.md can be audited
+against a fresh run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(result) -> None:
+    """Print and persist an ExperimentResult."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.render()
+    print()
+    print(text)
+    path = RESULTS_DIR / f"{result.experiment}.txt"
+    path.write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    """Shrink trace lengths when GREENDIMM_BENCH_FULL is not set."""
+    return os.environ.get("GREENDIMM_BENCH_FULL", "") == ""

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Drive the OS substrate by hand, the way GreenDIMM's daemon does.
+
+Walks the exact kernel interfaces of Sections 2.3 and 5.2: read
+``block_size_bytes``, scan the per-block ``removable`` flags, off-line a
+block by writing its ``state`` file, watch it fail with EBUSY on a block
+holding pinned pages and with EAGAIN when migration cannot proceed, then
+gate the freed sub-array groups and bring everything back.
+"""
+
+import random
+
+from repro.core.mapping import PowerBlockMap
+from repro.core.power_control import GreenDIMMPowerControl
+from repro.dram.address import AddressMapping
+from repro.dram.organization import spec_server_memory
+from repro.errors import OfflineAgainError, OfflineBusyError
+from repro.os.hotplug import MemoryBlockManager
+from repro.os.mm import PhysicalMemoryManager
+from repro.os.page import OwnerKind
+from repro.os.sysfs import SysfsMemoryInterface
+from repro.units import GIB
+
+
+def main() -> None:
+    organization = spec_server_memory()
+    mm = PhysicalMemoryManager(total_bytes=organization.total_capacity_bytes,
+                               block_bytes=GIB, movable_fraction=0.85)
+    hotplug = MemoryBlockManager(mm, transient_failure_probability=1.0,
+                                 rng=random.Random(0))
+    sysfs = SysfsMemoryInterface(hotplug)
+    control = GreenDIMMPowerControl(
+        PowerBlockMap(AddressMapping(organization), GIB))
+
+    block_size = int(sysfs.read("block_size_bytes"), 16)
+    print(f"# cat /sys/devices/system/memory/block_size_bytes")
+    print(f"{block_size:#x}  ({block_size // GIB} GiB, "
+          f"{mm.num_blocks} blocks)\n")
+
+    # Some workload memory, and one driver buffer pinned in a movable block.
+    mm.allocate("app", 6 * GIB // 4096)
+    pinned = mm.allocate("nic-driver", 16, kind=OwnerKind.PINNED)
+    pinned_block = pinned[0].pfn // mm.block_pages
+
+    print("# scanning removable flags (1 = all pages movable)")
+    flags = [sysfs.read(f"memory{i}/removable") for i in range(mm.num_blocks)]
+    print("".join(flags), "\n")
+
+    print(f"# echo offline > memory{pinned_block}/state   (holds pinned pages)")
+    try:
+        sysfs.write(f"memory{pinned_block}/state", "offline")
+    except OfflineBusyError as err:
+        print(f"-EBUSY after {err.latency_s * 1e6:.0f} us: {err}\n")
+
+    used_block = next(i for i in range(mm.num_blocks)
+                      if not mm.block_is_free(i) and mm.block_is_removable(i))
+    print(f"# echo offline > memory{used_block}/state   (used, migration "
+          f"fails transiently)")
+    try:
+        sysfs.write(f"memory{used_block}/state", "offline")
+    except OfflineAgainError as err:
+        print(f"-EAGAIN after {err.latency_s * 1e3:.2f} ms: {err}\n")
+
+    free_blocks = sorted(i for i in range(mm.num_blocks)
+                         if mm.block_is_free(i))[-2:]
+    gated = []
+    for free_block in free_blocks:
+        print(f"# echo offline > memory{free_block}/state   (fully free)")
+        sysfs.write(f"memory{free_block}/state", "offline")
+        gated = control.block_offlined(free_block) or gated
+    print(f"MemTotal shrank to {mm.meminfo().total_bytes / GIB:.0f} GiB")
+    print(f"sub-array groups gated: {gated} — the second off-lining "
+          f"completed a sense-amp pair")
+    print(f"(register = {control.register.raw_value():#018x})\n")
+    free_block = free_blocks[-1]
+
+    print(f"# echo online > memory{free_block}/state")
+    wait = control.prepare_online(free_block, now_s=1.0)
+    print(f"polled wake-up ready bit for {wait * 1e9:.0f} ns "
+          f"(deep power-down exit)")
+    sysfs.write(f"memory{free_block}/state", "online")
+    control.block_onlined(free_block, now_s=1.0)
+    print(f"state = {sysfs.read(f'memory{free_block}/state')}, "
+          f"MemTotal back to {mm.meminfo().total_bytes / GIB:.0f} GiB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Result rendering and paper-reference data.
+
+``report`` renders text tables/series the way the benchmark harness
+prints them; ``paper`` holds the published numbers for every table and
+figure so each bench can print paper-vs-measured side by side.
+"""
+
+from repro.analysis.report import Table, render_series, fmt_pct, fmt_w
+from repro.analysis.paper import PAPER
+
+__all__ = ["Table", "render_series", "fmt_pct", "fmt_w", "PAPER"]

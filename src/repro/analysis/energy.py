@@ -1,0 +1,74 @@
+"""Energy accounting over time: integrate power-breakdown series.
+
+The server simulator samples total DRAM power per epoch; when a study
+needs *component* energies (how many joules went to refresh vs I/O vs
+background — e.g. to show GreenDIMM attacks exactly the static share),
+an :class:`EnergyAccount` integrates full breakdowns instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import Table
+from repro.errors import ConfigurationError
+from repro.power.model import DRAMPowerBreakdown
+
+_COMPONENTS = ("background", "refresh", "activate", "rw", "io")
+
+
+@dataclass
+class EnergyAccount:
+    """Accumulates component energies from timed power samples."""
+
+    joules: Dict[str, float] = field(
+        default_factory=lambda: {name: 0.0 for name in _COMPONENTS})
+    elapsed_s: float = 0.0
+
+    def add(self, breakdown: DRAMPowerBreakdown, duration_s: float) -> None:
+        """Integrate one interval at the given average power."""
+        if duration_s < 0:
+            raise ConfigurationError("duration must be non-negative")
+        self.joules["background"] += breakdown.background_w * duration_s
+        self.joules["refresh"] += breakdown.refresh_w * duration_s
+        self.joules["activate"] += breakdown.activate_w * duration_s
+        self.joules["rw"] += breakdown.rw_w * duration_s
+        self.joules["io"] += breakdown.io_w * duration_s
+        self.elapsed_s += duration_s
+
+    @property
+    def total_j(self) -> float:
+        return sum(self.joules.values())
+
+    @property
+    def static_j(self) -> float:
+        """Background + refresh: the energy GreenDIMM attacks."""
+        return self.joules["background"] + self.joules["refresh"]
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.total_j / self.elapsed_s if self.elapsed_s else 0.0
+
+    def fraction(self, component: str) -> float:
+        if component not in self.joules:
+            raise ConfigurationError(f"unknown component {component!r}")
+        total = self.total_j
+        return self.joules[component] / total if total else 0.0
+
+    def compare(self, other: "EnergyAccount") -> List[Tuple[str, float]]:
+        """Per-component reduction of *self* relative to *other*."""
+        rows = []
+        for name in _COMPONENTS:
+            base = other.joules[name]
+            reduction = 1.0 - self.joules[name] / base if base else 0.0
+            rows.append((name, reduction))
+        return rows
+
+    def render(self, title: str = "Energy breakdown") -> str:
+        table = Table(title, ["component", "joules", "share"])
+        for name in _COMPONENTS:
+            table.add_row(name, f"{self.joules[name]:.1f}",
+                          f"{self.fraction(name):.1%}")
+        table.add_row("total", f"{self.total_j:.1f}", "100.0%")
+        return table.render()

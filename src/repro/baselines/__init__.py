@@ -1,0 +1,21 @@
+"""Comparison policies of the Section 6.2 evaluation.
+
+Each baseline estimates, for a workload profile on a topology, the rank
+state residencies (and masked-refresh fraction) it can achieve with and
+without memory interleaving, plus any runtime/traffic overhead it adds.
+The estimates feed the same :class:`repro.power.DRAMPowerModel` GreenDIMM
+uses, so the Figure 9/10 comparison is apples-to-apples.
+"""
+
+from repro.baselines.base import BaselineEstimate, resident_ranks_for
+from repro.baselines.srf_only import SelfRefreshOnlyPolicy
+from repro.baselines.ramzzz import RAMZzzPolicy
+from repro.baselines.pasr_policy import PASRPolicy
+
+__all__ = [
+    "BaselineEstimate",
+    "resident_ranks_for",
+    "SelfRefreshOnlyPolicy",
+    "RAMZzzPolicy",
+    "PASRPolicy",
+]

@@ -1,0 +1,75 @@
+"""PASR: bank-granularity partial-array self-refresh (mobile DRAM).
+
+PASR lets idle banks stop refreshing while the rank self-refreshes, and
+unused banks enter a deep power-down-like state.  Like every rank/bank
+scheme it assumes an idle bank *exists*; with interleaving the paper's
+Ramulator experiment finds none (Section 3.3), so PASR only helps with
+interleaving disabled, and even then only for the refresh component of
+banks the footprint does not touch.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.base import (
+    BaselineEstimate,
+    busy_residency,
+    idle_residency,
+    resident_ranks_for,
+)
+from repro.baselines.srf_only import SELF_REFRESH_EFFICIENCY
+from repro.dram.organization import MemoryOrganization
+from repro.power.model import RankPowerProfile
+from repro.workloads.profiles import WorkloadProfile
+
+#: Background-power share PASR's deep state removes for a fully idle
+#: bank (refresh plus part of the bank periphery; chip-global circuits
+#: and the shared I/O stay powered because the rank remains addressable).
+PASR_BANK_SAVING = 0.55
+
+
+class PASRPolicy:
+    """Refresh masking for idle banks, on top of the timeout policy."""
+
+    name = "pasr"
+
+    def estimate(self, profile: WorkloadProfile,
+                 organization: MemoryOrganization,
+                 interleaved: bool, n_copies: int = 1) -> BaselineEstimate:
+        total_ranks = organization.total_ranks
+        resident = resident_ranks_for(
+            profile.peak_footprint_bytes * n_copies, organization, interleaved)
+        per_rank_bw = (profile.bandwidth_demand_bytes_per_s * n_copies
+                       / max(1, resident))
+        utilization = min(0.9, per_rank_bw / 4e9)
+
+        if interleaved:
+            # Bank interleaving touches every bank of every rank.
+            idle_bank_fraction = 0.0
+        else:
+            footprint = profile.peak_footprint_bytes * n_copies
+            banks_used = math.ceil(
+                footprint / organization.logical_bank_capacity_bytes)
+            idle_bank_fraction = 1.0 - min(
+                1.0, banks_used / organization.total_banks)
+
+        # Idle banks behave like a dpd_fraction scaled by what PASR's
+        # state can actually shed (vs GreenDIMM's near-total gating).
+        effective_dpd = idle_bank_fraction * PASR_BANK_SAVING
+        profiles = []
+        for rank in range(total_ranks):
+            if rank < resident:
+                profiles.append(RankPowerProfile(
+                    state_residency=busy_residency(utilization),
+                    bandwidth_bytes_per_s=per_rank_bw,
+                    row_miss_rate=1.0 - profile.row_hit_rate,
+                    dpd_fraction=effective_dpd))
+            else:
+                profiles.append(RankPowerProfile(
+                    state_residency=idle_residency(SELF_REFRESH_EFFICIENCY),
+                    dpd_fraction=effective_dpd))
+        return BaselineEstimate(
+            policy=self.name, interleaved=interleaved,
+            rank_profiles=profiles,
+            notes=f"idle-bank fraction {idle_bank_fraction:.2f}")

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list-workloads          the synthetic workload catalog
+list-experiments        every reproducible table/figure
+run EXPERIMENT [--fast] regenerate one table/figure
+simulate WORKLOAD       run a workload under the GreenDIMM daemon
+topology [--capacity]   show a platform's geometry and power envelope
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro import __version__
+from repro.analysis.report import Table
+from repro.core.config import GreenDIMMConfig
+from repro.core.system import GreenDIMMSystem
+from repro.dram.address import AddressMapping
+from repro.dram.organization import scaled_server_memory, spec_server_memory
+from repro.errors import ReproError
+from repro.power.model import DRAMPowerModel
+from repro.sim.server import ServerSimulator
+from repro.units import GIB, MIB
+from repro.workloads.registry import all_profiles, profile_by_name
+
+
+def _experiment_runners() -> Dict[str, Callable]:
+    """Name -> run callable for every experiment module."""
+    from repro.experiments.registry import runners
+
+    return runners()
+
+
+def cmd_list_workloads(_args: argparse.Namespace) -> int:
+    table = Table("Workload catalog",
+                  ["name", "suite", "peak footprint", "MPKI", "notes"])
+    for name, profile in sorted(all_profiles().items()):
+        notes = "latency-critical" if profile.latency_critical else (
+            "memory-intensive" if profile.memory_intensive else "cpu-bound")
+        table.add_row(name, profile.suite.value,
+                      f"{profile.peak_footprint_bytes / GIB:.2f} GiB",
+                      f"{profile.mpki:g}", notes)
+    print(table.render())
+    return 0
+
+
+def cmd_list_experiments(_args: argparse.Namespace) -> int:
+    from repro.analysis.paper import PAPER
+
+    table = Table("Reproducible tables and figures", ["id", "description"])
+    for name in _experiment_runners():
+        key = name.replace("-", "_")
+        description = PAPER.get(name, PAPER.get(key, {})).get(
+            "description", "(extension beyond the paper)")
+        table.add_row(name, description)
+    print(table.render())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runners = _experiment_runners()
+    if args.experiment not in runners:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"try: {', '.join(runners)}", file=sys.stderr)
+        return 2
+    result = runners[args.experiment](fast=args.fast)
+    print(result.render())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    profile = profile_by_name(args.workload)
+    organization = (scaled_server_memory(args.capacity)
+                    if args.capacity else spec_server_memory())
+    config = GreenDIMMConfig(block_bytes=args.block_mb * MIB)
+    system = GreenDIMMSystem(organization=organization, config=config,
+                             seed=args.seed)
+    simulator = ServerSimulator(system, seed=args.seed)
+    result = simulator.run_workload(profile, n_copies=args.copies)
+    table = Table(f"{profile.name} on {organization.describe()}",
+                  ["metric", "value"])
+    table.add_row("off-lining events", result.offline_events)
+    table.add_row("on-lining events", result.online_events)
+    table.add_row("failures (EBUSY/EAGAIN)",
+                  f"{result.ebusy_failures}/{result.eagain_failures}")
+    table.add_row("mean offline blocks",
+                  f"{result.mean_offline_blocks:.1f}/{system.mm.num_blocks}")
+    table.add_row("DRAM energy saved", f"{result.dram_energy_saving:.1%}")
+    table.add_row("execution-time overhead",
+                  f"{result.overhead_fraction:.2%}")
+    table.add_row("swap I/O pages", simulator.swap.stats.total_io_pages)
+    print(table.render())
+    return 0
+
+
+def cmd_validate(_args: argparse.Namespace) -> int:
+    from repro.validate import render_validation, run_validation
+
+    results = run_validation()
+    print(render_validation(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    organization = (scaled_server_memory(args.capacity)
+                    if args.capacity else spec_server_memory())
+    mapping = AddressMapping(organization)
+    model = DRAMPowerModel(organization)
+    idle = model.idle_power()
+    busy = model.busy_power(14e9, active_residency=0.6)
+    table = Table(organization.describe(), ["property", "value"])
+    table.add_row("device", organization.device.name)
+    table.add_row("ranks / banks", f"{organization.total_ranks} / "
+                                   f"{organization.total_banks}")
+    table.add_row("sub-array groups",
+                  f"{organization.num_subarray_groups} x "
+                  f"{organization.min_power_unit_bytes // MIB} MiB")
+    table.add_row("groups contiguous", str(mapping.group_is_contiguous()))
+    table.add_row("idle power", f"{idle.total_w:.1f} W")
+    table.add_row("busy power (16x mcf)", f"{busy.total_w:.1f} W")
+    table.add_row("background share (busy)",
+                  f"{busy.background_fraction:.0%}")
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GreenDIMM (MICRO 2021) reproduction toolkit")
+    parser.add_argument("--version", action="version",
+                        version=f"greendimm-repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads").set_defaults(func=cmd_list_workloads)
+    sub.add_parser("list-experiments").set_defaults(func=cmd_list_experiments)
+
+    run_p = sub.add_parser("run", help="regenerate one table/figure")
+    run_p.add_argument("experiment")
+    run_p.add_argument("--fast", action="store_true",
+                       help="shrink trace lengths")
+    run_p.set_defaults(func=cmd_run)
+
+    sim_p = sub.add_parser("simulate", help="run a workload under GreenDIMM")
+    sim_p.add_argument("workload")
+    sim_p.add_argument("--capacity", type=int, default=0,
+                       help="server capacity in GiB (default: 64GB platform)")
+    sim_p.add_argument("--block-mb", type=int, default=128)
+    sim_p.add_argument("--copies", type=int, default=1)
+    sim_p.add_argument("--seed", type=int, default=1)
+    sim_p.set_defaults(func=cmd_simulate)
+
+    top_p = sub.add_parser("topology", help="inspect a platform")
+    top_p.add_argument("--capacity", type=int, default=0)
+    top_p.set_defaults(func=cmd_topology)
+
+    val_p = sub.add_parser("validate",
+                           help="check model anchors against the paper")
+    val_p.set_defaults(func=cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

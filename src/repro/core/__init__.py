@@ -1,0 +1,27 @@
+"""GreenDIMM — the paper's contribution.
+
+Ties the substrates together: the daemon monitors memory utilization and
+drives OS memory on/off-lining (Section 4.2); the block map ties each
+physical memory block to its sub-array groups (Section 4.1); the power
+control gates off-lined groups into the sub-array deep power-down state
+through the controller register and un-gates them — polling the ready
+bit — before blocks are on-lined (Section 4.3).
+"""
+
+from repro.core.config import GreenDIMMConfig, SelectionPolicy
+from repro.core.mapping import PowerBlockMap
+from repro.core.power_control import GreenDIMMPowerControl
+from repro.core.selector import BlockSelector
+from repro.core.daemon import GreenDIMMDaemon, DaemonStats
+from repro.core.system import GreenDIMMSystem
+
+__all__ = [
+    "GreenDIMMConfig",
+    "SelectionPolicy",
+    "PowerBlockMap",
+    "GreenDIMMPowerControl",
+    "BlockSelector",
+    "GreenDIMMDaemon",
+    "DaemonStats",
+    "GreenDIMMSystem",
+]

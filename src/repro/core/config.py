@@ -1,0 +1,58 @@
+"""GreenDIMM daemon configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import DEFAULT_MEMORY_BLOCK_SIZE
+
+
+class SelectionPolicy(enum.Enum):
+    """How ``block_selector()`` picks off-lining candidates (Section 5.2)."""
+
+    #: Pick any online block at random — the baseline of Figure 8, which
+    #: suffers EBUSY (unmovable pages) and EAGAIN (failed migration).
+    RANDOM = "random"
+    #: Prefer blocks whose sysfs ``removable`` flag is set, free blocks
+    #: first — the paper's optimization, cutting failures roughly in half.
+    REMOVABLE_FIRST = "removable_first"
+
+
+@dataclass(frozen=True)
+class GreenDIMMConfig:
+    """Thresholds and knobs of the power-management daemon (Section 4.2).
+
+    ``off_thr_fraction`` is the free-memory reserve (fraction of installed
+    capacity) that must remain on-lined: the paper uses 10% + a margin and
+    observes thrashing below 10%.  ``on_thr_fraction`` is the low-water
+    mark that triggers on-lining.  ``monitor_period_s`` is how often
+    ``memory_usage_monitor()`` samples ``/proc/meminfo`` (1 s; faster
+    periods only add overhead).
+    """
+
+    off_thr_fraction: float = 0.12
+    on_thr_fraction: float = 0.105
+    monitor_period_s: float = 1.0
+    block_bytes: int = DEFAULT_MEMORY_BLOCK_SIZE
+    selection: SelectionPolicy = SelectionPolicy.REMOVABLE_FIRST
+    #: React to a completed KSM pass immediately (Section 5.3).
+    react_to_ksm: bool = True
+    #: Maximum off-lining attempts per monitoring period (bounds the time
+    #: the daemon can spend fighting failures in one period).
+    max_attempts_per_period: int = 64
+    #: Gate a sub-array group only when its sense-amp partner group is
+    #: also offline (Section 6.1's consecutive-sub-array assumption).
+    pair_gating: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.on_thr_fraction < self.off_thr_fraction < 1.0:
+            raise ConfigurationError(
+                "need 0 < on_thr < off_thr < 1 for hysteresis")
+        if self.monitor_period_s <= 0:
+            raise ConfigurationError("monitor period must be positive")
+        if self.block_bytes <= 0:
+            raise ConfigurationError("block size must be positive")
+        if self.max_attempts_per_period <= 0:
+            raise ConfigurationError("max attempts must be positive")

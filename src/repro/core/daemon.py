@@ -1,0 +1,196 @@
+"""The GreenDIMM power-management daemon (Section 4.2).
+
+``memory_usage_monitor()`` samples meminfo every monitoring period (or
+immediately after a KSM pass completes); when free memory exceeds the
+``off_thr`` reserve it asks ``block_selector()`` for candidates and
+off-lines them, gating newly covered sub-array groups; when free memory
+drops below ``on_thr`` it wakes groups, polls the ready bit, and
+on-lines blocks back.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import random
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.core.config import GreenDIMMConfig
+from repro.core.power_control import GreenDIMMPowerControl
+from repro.core.selector import BlockSelector
+from repro.errors import ConfigurationError
+from repro.ksm.daemon import KSMDaemon
+from repro.os.hotplug import MemoryBlockManager
+from repro.os.mm import PhysicalMemoryManager
+from repro.units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class DaemonEvent:
+    """One daemon action, for time-series analysis (Figure 12 style)."""
+
+    time_s: float
+    kind: str  # offline | online | ebusy | eagain | emergency
+    block: int
+
+
+@dataclass
+class DaemonStats:
+    """Run counters: the raw material of Table 2/3 and Figures 6-8, 12."""
+
+    offline_events: int = 0
+    online_events: int = 0
+    ebusy_failures: int = 0
+    eagain_failures: int = 0
+    offlined_bytes_total: int = 0
+    onlined_bytes_total: int = 0
+    busy_s: float = 0.0
+    busy_offline_s: float = 0.0
+    busy_online_s: float = 0.0
+    wakeup_wait_s: float = 0.0
+    emergency_onlines: int = 0
+
+    @property
+    def total_failures(self) -> int:
+        return self.ebusy_failures + self.eagain_failures
+
+
+class GreenDIMMDaemon:
+    """Implements ``memory_usage_monitor()`` + ``block_selector()``."""
+
+    def __init__(self, mm: PhysicalMemoryManager,
+                 hotplug: MemoryBlockManager,
+                 power_control: GreenDIMMPowerControl,
+                 config: Optional[GreenDIMMConfig] = None,
+                 ksm: Optional[KSMDaemon] = None,
+                 rng: Optional[random.Random] = None):
+        self.mm = mm
+        self.hotplug = hotplug
+        self.power_control = power_control
+        self.config = config or GreenDIMMConfig()
+        if self.config.block_bytes != mm.block_pages * PAGE_SIZE:
+            raise ConfigurationError(
+                "daemon block size differs from the memory manager's")
+        self.ksm = ksm
+        self.selector = BlockSelector(hotplug, self.config.selection,
+                                      rng or random.Random(29))
+        self.stats = DaemonStats()
+        #: Bounded event history; oldest entries are dropped.
+        self.event_log: Deque[DaemonEvent] = collections.deque(maxlen=20_000)
+        self._since_monitor_s = math.inf  # fire on the first step
+
+    # --- thresholds ----------------------------------------------------------
+
+    @property
+    def _block_pages(self) -> int:
+        return self.mm.block_pages
+
+    @property
+    def reserve_pages(self) -> int:
+        """Free pages that must stay on-lined (off_thr x installed)."""
+        return int(self.config.off_thr_fraction * self.mm.total_pages)
+
+    @property
+    def low_water_pages(self) -> int:
+        """Free-page level that triggers on-lining (on_thr x installed)."""
+        return int(self.config.on_thr_fraction * self.mm.total_pages)
+
+    # --- public stepping ---------------------------------------------------
+
+    def step(self, now_s: float, dt_s: float) -> None:
+        """Advance the daemon by one simulation epoch."""
+        self._since_monitor_s += dt_s
+        ksm_kick = (self.config.react_to_ksm and self.ksm is not None
+                    and self.ksm.pass_just_completed)
+        if self._since_monitor_s < self.config.monitor_period_s and not ksm_kick:
+            return
+        self._since_monitor_s = 0.0
+        self.monitor_once(now_s)
+
+    def monitor_once(self, now_s: float = 0.0) -> None:
+        """One ``memory_usage_monitor()`` evaluation."""
+        free = self.mm.free_pages
+        if free < self.low_water_pages:
+            target = (self.reserve_pages + self.low_water_pages) // 2
+            self._online_until(now_s, target_free_pages=target)
+        elif free > self.reserve_pages + self._block_pages:
+            self._offline_surplus(now_s, free)
+
+    # --- off-lining --------------------------------------------------------------
+
+    def _offline_surplus(self, now_s: float, free_pages: int) -> None:
+        surplus_blocks = (free_pages - self.reserve_pages) // self._block_pages
+        if surplus_blocks <= 0:
+            return
+        budget = min(surplus_blocks, self.config.max_attempts_per_period)
+        candidates = self.selector.candidates(budget)
+        done = 0
+        for block in candidates:
+            if done >= surplus_blocks:
+                break
+            result = self.hotplug.try_offline_block(block)
+            self.stats.busy_s += result.latency_s
+            self.stats.busy_offline_s += result.latency_s
+            if result.success:
+                done += 1
+                self.stats.offline_events += 1
+                self.stats.offlined_bytes_total += self.config.block_bytes
+                self.power_control.block_offlined(block, now_s)
+                self.event_log.append(DaemonEvent(now_s, "offline", block))
+            elif result.errno_name == "EBUSY":
+                self.stats.ebusy_failures += 1
+                self.event_log.append(DaemonEvent(now_s, "ebusy", block))
+            else:
+                self.stats.eagain_failures += 1
+                self.event_log.append(DaemonEvent(now_s, "eagain", block))
+
+    # --- on-lining ----------------------------------------------------------------
+
+    def _online_until(self, now_s: float, target_free_pages: int) -> int:
+        onlined = 0
+        while self.mm.free_pages < target_free_pages:
+            offline = self.hotplug.offline_blocks()
+            if not offline:
+                break
+            block = min(offline)
+            wait_s = self.power_control.prepare_online(block, now_s)
+            self.stats.wakeup_wait_s += wait_s
+            latency = self.hotplug.online_block(block)
+            self.power_control.block_onlined(block, now_s)
+            self.stats.busy_s += wait_s + latency
+            self.stats.busy_online_s += wait_s + latency
+            self.stats.online_events += 1
+            self.stats.onlined_bytes_total += self.config.block_bytes
+            self.event_log.append(DaemonEvent(now_s, "online", block))
+            onlined += 1
+        return onlined
+
+    def emergency_online(self, needed_pages: int, now_s: float = 0.0) -> int:
+        """Allocation pressure beyond the monitor's reaction: on-line now.
+
+        Returns the blocks on-lined.  Called by the server model when an
+        allocation fails between monitoring periods.
+        """
+        target = self.mm.free_pages + max(needed_pages, self._block_pages)
+        onlined = self._online_until(now_s, target_free_pages=target)
+        if onlined:
+            self.stats.emergency_onlines += 1
+            self.event_log.append(DaemonEvent(now_s, "emergency", -1))
+        return onlined
+
+    # --- views --------------------------------------------------------------------
+
+    @property
+    def offline_block_count(self) -> int:
+        return self.hotplug.offline_count
+
+    def dpd_fraction(self) -> float:
+        """Capacity fraction in deep power-down, for the power model."""
+        return self.power_control.gated_capacity_fraction()
+
+    def cpu_overhead_fraction(self, elapsed_s: float) -> float:
+        """Fraction of one core the daemon consumed over *elapsed_s*."""
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_s / elapsed_s)

@@ -1,0 +1,121 @@
+"""Deep power-down orchestration (Section 4.3).
+
+After a successful off-lining the daemon updates the controller's
+sub-array-group register; any group that is now fully covered by
+off-lined blocks (and satisfies the sense-amp pairing constraint) enters
+deep power-down.  Before on-lining a block the daemon un-gates the
+affected groups and polls the ready bit; the exit latency is bounded by
+the 18 ns power-down exit and — because it happens before
+``online_pages()`` returns the block to the allocator — never sits on
+any demand access's critical path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.core.mapping import PowerBlockMap
+from repro.memctrl.moderegister import ModeRegisterFile
+from repro.memctrl.registers import GreenDIMMControlRegister
+
+
+class GreenDIMMPowerControl:
+    """Keeps the gating register consistent with the offline block set."""
+
+    def __init__(self, block_map: PowerBlockMap,
+                 register: Optional[GreenDIMMControlRegister] = None,
+                 pair_gating: bool = True,
+                 mode_registers: Optional[ModeRegisterFile] = None):
+        self.block_map = block_map
+        self.register = register or GreenDIMMControlRegister(
+            num_groups=block_map.num_groups)
+        self.pair_gating = pair_gating
+        self.mode_registers = mode_registers or ModeRegisterFile(
+            total_ranks=block_map.mapping.organization.total_ranks,
+            mask_bits=max(64, block_map.num_groups))
+        self._offline_blocks: Set[int] = set()
+        self.wakeup_wait_s = 0.0
+        self.mrs_time_ns = 0.0
+
+    def _sync_mode_registers(self) -> None:
+        """Propagate the control register to every rank's MRs (MRS path)."""
+        self.mrs_time_ns += self.mode_registers.broadcast_gate_mask(
+            self.register.raw_value())
+
+    # --- events from the daemon ------------------------------------------
+
+    def block_offlined(self, block: int, now_s: float = 0.0) -> List[int]:
+        """Record an off-lining; gate any newly eligible groups.
+
+        Returns the groups gated by this event.
+        """
+        self._offline_blocks.add(block)
+        eligible = set(self.block_map.gateable_groups(
+            self._offline_blocks, self.pair_gating))
+        newly = [g for g in sorted(eligible)
+                 if not self.register.is_gated(g)
+                 and self.register.is_ready(g, now_s * 1e9)]
+        for group in newly:
+            self.register.gate(group)
+        if newly:
+            self._sync_mode_registers()
+        return newly
+
+    def prepare_online(self, block: int, now_s: float = 0.0) -> float:
+        """Un-gate the groups *block* touches and wait for readiness.
+
+        Returns the wake-up wait in seconds (the poll loop of Section
+        4.2); the caller performs ``online_pages()`` only after this.
+        """
+        now_ns = now_s * 1e9
+        ready_ns = now_ns
+        ungated_any = False
+        for group in self.block_map.groups_of_block(block):
+            if self.register.is_gated(group):
+                ready_ns = max(ready_ns,
+                               self.register.ungate(group, now_ns))
+                ungated_any = True
+        if ungated_any:
+            self._sync_mode_registers()
+        wait_s = max(0.0, (ready_ns - now_ns) * 1e-9)
+        self.wakeup_wait_s += wait_s
+        return wait_s
+
+    def block_onlined(self, block: int, now_s: float = 0.0) -> List[int]:
+        """Record the completed on-lining; re-gate partner-broken groups.
+
+        On-lining one block may break the pairing constraint for a
+        neighbouring gated group; those groups are woken too (they are
+        still fully offline but can no longer be held gated).  Returns
+        the groups that had to be un-gated.
+        """
+        self._offline_blocks.discard(block)
+        now_ns = now_s * 1e9
+        eligible = set(self.block_map.gateable_groups(
+            self._offline_blocks, self.pair_gating))
+        broken = [g for g in range(self.register.num_groups)
+                  if self.register.is_gated(g) and g not in eligible]
+        for group in broken:
+            self.register.ungate(group, now_ns)
+        if broken:
+            self._sync_mode_registers()
+        return broken
+
+    # --- power accounting --------------------------------------------------
+
+    @property
+    def offline_blocks(self) -> Set[int]:
+        return set(self._offline_blocks)
+
+    def gated_capacity_fraction(self) -> float:
+        """Fraction of DRAM capacity sitting in deep power-down.
+
+        This is the ``dpd_fraction`` the power model consumes: gated
+        groups shed their background and refresh power.
+        """
+        return self.register.gated_fraction()
+
+    def offline_capacity_fraction(self) -> float:
+        """Fraction of capacity off-lined (>= gated when pairing or
+        partial groups leave some offline blocks un-gated)."""
+        return len(self._offline_blocks) / self.block_map.num_blocks

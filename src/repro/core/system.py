@@ -1,0 +1,95 @@
+"""Facade wiring a whole GreenDIMM-managed server together.
+
+Examples and benchmarks build one :class:`GreenDIMMSystem` instead of
+assembling the memory manager, hot-plug manager, block map, control
+register, KSM, and daemon by hand.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.config import GreenDIMMConfig
+from repro.core.daemon import GreenDIMMDaemon
+from repro.core.mapping import PowerBlockMap
+from repro.core.power_control import GreenDIMMPowerControl
+from repro.dram.address import AddressMapping
+from repro.dram.organization import MemoryOrganization, spec_server_memory
+from repro.ksm.daemon import KSMConfig, KSMDaemon
+from repro.os.hotplug import HotplugLatencyModel, MemoryBlockManager
+from repro.os.mm import PhysicalMemoryManager
+from repro.os.page import OwnerKind
+from repro.os.sysfs import SysfsMemoryInterface
+from repro.power.model import DRAMPowerBreakdown, DRAMPowerModel
+from repro.units import GIB
+
+
+class GreenDIMMSystem:
+    """One server: topology + OS substrate + GreenDIMM + power model."""
+
+    def __init__(self, organization: Optional[MemoryOrganization] = None,
+                 config: Optional[GreenDIMMConfig] = None,
+                 movable_fraction: float = 0.85,
+                 enable_ksm: bool = False,
+                 ksm_config: Optional[KSMConfig] = None,
+                 hotplug_latency: Optional[HotplugLatencyModel] = None,
+                 transient_failure_probability: float = 0.85,
+                 kernel_boot_bytes: int = 2 * GIB,
+                 seed: int = 42):
+        self.organization = organization or spec_server_memory()
+        self.config = config or GreenDIMMConfig()
+        rng = random.Random(seed)
+        self.mm = PhysicalMemoryManager(
+            total_bytes=self.organization.total_capacity_bytes,
+            block_bytes=self.config.block_bytes,
+            movable_fraction=movable_fraction)
+        self.hotplug = MemoryBlockManager(
+            self.mm, latency=hotplug_latency,
+            transient_failure_probability=transient_failure_probability,
+            rng=random.Random(rng.randrange(1 << 30)))
+        self.sysfs = SysfsMemoryInterface(self.hotplug)
+        self.mapping = AddressMapping(self.organization, interleaved=True)
+        self.block_map = PowerBlockMap(self.mapping, self.config.block_bytes)
+        self.power_control = GreenDIMMPowerControl(
+            self.block_map, pair_gating=self.config.pair_gating)
+        self.ksm = (KSMDaemon(self.mm, config=ksm_config,
+                              rng=random.Random(rng.randrange(1 << 30)))
+                    if enable_ksm else None)
+        self.daemon = GreenDIMMDaemon(
+            self.mm, self.hotplug, self.power_control, self.config,
+            ksm=self.ksm, rng=random.Random(rng.randrange(1 << 30)))
+        self.power_model = DRAMPowerModel(self.organization)
+        if kernel_boot_bytes:
+            self.mm.allocate("kernel", kernel_boot_bytes // 4096,
+                             kind=OwnerKind.KERNEL)
+
+    # --- stepping ----------------------------------------------------------
+
+    def step(self, now_s: float, dt_s: float = 1.0) -> None:
+        """Advance KSM and the GreenDIMM daemon by one epoch."""
+        if self.ksm is not None:
+            self.ksm.step(dt_s)
+        self.daemon.step(now_s, dt_s)
+
+    # --- power views ----------------------------------------------------------
+
+    def dram_power(self, bandwidth_bytes_per_s: float = 0.0,
+                   active_residency: float = 0.0,
+                   row_miss_rate: float = 0.5) -> DRAMPowerBreakdown:
+        """Current DRAM power, honouring the gated sub-array groups."""
+        return self.power_model.busy_power(
+            bandwidth_bytes_per_s,
+            active_residency=active_residency,
+            row_miss_rate=row_miss_rate,
+            dpd_fraction=self.daemon.dpd_fraction())
+
+    def baseline_dram_power(self, bandwidth_bytes_per_s: float = 0.0,
+                            active_residency: float = 0.0,
+                            row_miss_rate: float = 0.5) -> DRAMPowerBreakdown:
+        """The same operating point with no sub-array gating."""
+        return self.power_model.busy_power(
+            bandwidth_bytes_per_s,
+            active_residency=active_residency,
+            row_miss_rate=row_miss_rate,
+            dpd_fraction=0.0)

@@ -1,0 +1,28 @@
+"""DRAM organization substrate.
+
+Models the hierarchy the paper builds on (Section 2.1): channels hold DIMMs,
+DIMMs hold ranks, a rank is a set of x4/x8/x16 devices providing a 64-bit
+data path, each device holds banks, each bank is split into sub-arrays of
+MATs.  The address-mapping module reproduces the interleaving scheme of
+Figure 5 and exposes the sub-array-group decoding that makes GreenDIMM's
+power-management unit interleaving-agnostic.
+"""
+
+from repro.dram.device import DRAMDeviceConfig, DDR4_4GB_X8, DDR4_8GB_X4, DDR4_8GB_X8
+from repro.dram.organization import MemoryOrganization, spec_server_memory, azure_server_memory
+from repro.dram.timing import DDR4Timing, DDR4_2133
+from repro.dram.address import AddressMapping, DecodedAddress
+
+__all__ = [
+    "DRAMDeviceConfig",
+    "DDR4_4GB_X8",
+    "DDR4_8GB_X4",
+    "DDR4_8GB_X8",
+    "MemoryOrganization",
+    "spec_server_memory",
+    "azure_server_memory",
+    "DDR4Timing",
+    "DDR4_2133",
+    "AddressMapping",
+    "DecodedAddress",
+]

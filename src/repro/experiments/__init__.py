@@ -1,0 +1,12 @@
+"""One module per paper table/figure.
+
+Each module exposes ``run(fast=False) -> ExperimentResult``; the
+benchmark harness under ``benchmarks/`` calls these and prints the
+rendered rows, and EXPERIMENTS.md is written from the same results.
+``fast=True`` shrinks trace lengths for CI-speed runs without changing
+the experiment's structure.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

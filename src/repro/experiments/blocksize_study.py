@@ -1,0 +1,97 @@
+"""Shared machinery for the Section 5.1/5.2 studies.
+
+Runs the six-application set under the real daemon at each memory-block
+size (or selection policy) and collects event counts, off-lined
+capacity, and failures.  Figures 6-8 and Table 2 are different views of
+these runs.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.config import GreenDIMMConfig, SelectionPolicy
+from repro.core.system import GreenDIMMSystem
+from repro.dram.device import DDR4_4GB_X8
+from repro.dram.organization import MemoryOrganization
+from repro.sim.server import ServerSimulator, WorkloadRunResult
+from repro.units import GIB, MIB
+from repro.workloads.spec import BLOCKSIZE_STUDY_SET, SPEC_PROFILES
+
+BLOCK_SIZES_MIB = (128, 256, 512)
+
+
+def study_organization() -> MemoryOrganization:
+    """An 8GB platform: the block-size dynamics need block sizes to be a
+    visible fraction of free memory, as on the paper's testbed."""
+    return MemoryOrganization(device=DDR4_4GB_X8, channels=1,
+                              dimms_per_channel=2, ranks_per_dimm=1)
+
+
+@dataclass(frozen=True)
+class StudyRun:
+    result: WorkloadRunResult
+    block_bytes: int
+
+    @property
+    def offline_events(self) -> int:
+        return self.result.offline_events
+
+    @property
+    def online_events(self) -> int:
+        return self.result.online_events
+
+    @property
+    def offlined_gib_total(self) -> float:
+        """Capacity off-lined over the run (Figure 6's metric)."""
+        return self.result.offlined_bytes_total / GIB
+
+    @property
+    def overhead(self) -> float:
+        return self.result.overhead_fraction
+
+    @property
+    def failures(self) -> Tuple[int, int]:
+        return (self.result.ebusy_failures, self.result.eagain_failures)
+
+
+def run_app(app: str, block_mib: int,
+            policy: SelectionPolicy = SelectionPolicy.REMOVABLE_FIRST,
+            fast: bool = False, seed: int = 17,
+            transient_failure_probability: float = 0.85,
+            pinned_churn: bool = True) -> StudyRun:
+    """One application at one block size under the real daemon."""
+    profile = SPEC_PROFILES[app]
+    config = GreenDIMMConfig(block_bytes=block_mib * MIB, selection=policy)
+    system = GreenDIMMSystem(
+        organization=study_organization(), config=config,
+        kernel_boot_bytes=512 * MIB,
+        transient_failure_probability=transient_failure_probability,
+        seed=seed)
+    simulator = ServerSimulator(system, seed=seed)
+    epoch = 2.0 if fast else 1.0
+    result = simulator.run_workload(profile, epoch_s=epoch,
+                                    pinned_churn=pinned_churn)
+    return StudyRun(result=result, block_bytes=block_mib * MIB)
+
+
+def run_matrix(fast: bool = False,
+               policy: SelectionPolicy = SelectionPolicy.REMOVABLE_FIRST,
+               ) -> Dict[Tuple[str, int], StudyRun]:
+    """All six applications x all three block sizes."""
+    runs = {}
+    for app in BLOCKSIZE_STUDY_SET:
+        for block_mib in BLOCK_SIZES_MIB:
+            runs[(app, block_mib)] = run_app(app, block_mib, policy=policy,
+                                             fast=fast)
+    return runs
+
+
+@functools.lru_cache(maxsize=4)
+def cached_matrix(fast: bool = False,
+                  policy: SelectionPolicy = SelectionPolicy.REMOVABLE_FIRST,
+                  ) -> Dict[Tuple[str, int], StudyRun]:
+    """Memoized matrix so Figures 6/7 and Table 2 share one set of runs."""
+    return run_matrix(fast=fast, policy=policy)

@@ -1,0 +1,46 @@
+"""Shared result type and helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.analysis.report import Table
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction.
+
+    ``measured`` holds the headline numbers of this run; ``paper`` the
+    corresponding published values (taken from ``repro.analysis.paper``);
+    ``tables`` the full row sets the paper's figure/table displays.
+    """
+
+    experiment: str
+    description: str
+    tables: List[Table] = field(default_factory=list)
+    measured: Dict[str, Any] = field(default_factory=dict)
+    paper: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        out = [f"#### {self.experiment}: {self.description}"]
+        for table in self.tables:
+            out.append(table.render())
+        if self.measured:
+            comparison = Table(f"{self.experiment} paper vs measured",
+                               ["metric", "paper", "measured"])
+            for key, value in self.measured.items():
+                paper_value = self.paper.get(key, "-")
+                comparison.add_row(key, _fmt(paper_value), _fmt(value))
+            out.append(comparison.render())
+        if self.notes:
+            out.append(f"note: {self.notes}")
+        return "\n\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

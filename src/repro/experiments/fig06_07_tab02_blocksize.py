@@ -1,0 +1,101 @@
+"""Figures 6 & 7 and Table 2: the memory-block-size trade-off.
+
+Smaller blocks off-line more capacity (Figure 6) at the cost of more
+on/off-lining events (Table 2) and slightly higher execution-time
+overhead (Figure 7).  All three views come from the same daemon runs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import Table
+from repro.experiments.blocksize_study import (
+    BLOCK_SIZES_MIB,
+    cached_matrix,
+)
+from repro.experiments.common import ExperimentResult
+from repro.workloads.spec import BLOCKSIZE_STUDY_SET
+
+
+def run_fig06(fast: bool = False) -> ExperimentResult:
+    runs = cached_matrix(fast)
+    table = Table("Figure 6 — off-lined capacity vs block size (GiB)",
+                  ["application"] + [f"{s}MB" for s in BLOCK_SIZES_MIB])
+    monotone = 0
+    for app in BLOCKSIZE_STUDY_SET:
+        values = [runs[(app, size)].offlined_gib_total
+                  for size in BLOCK_SIZES_MIB]
+        if values[0] >= values[-1]:
+            monotone += 1
+        table.add_row(app, *[f"{v:.2f}" for v in values])
+    gcc_128 = runs[("403.gcc", 128)].offlined_gib_total
+    gcc_512 = runs[("403.gcc", 512)].offlined_gib_total
+    return ExperimentResult(
+        experiment="fig6",
+        description=PAPER["fig6"]["description"],
+        tables=[table],
+        measured={"gcc_ratio_128_over_512": (gcc_128 / gcc_512
+                                             if gcc_512 else float("inf")),
+                  "apps_where_smaller_blocks_offline_more":
+                      f"{monotone}/{len(BLOCKSIZE_STUDY_SET)}"},
+        paper={"gcc_ratio_128_over_512": 3.125 / 2.0,
+               "apps_where_smaller_blocks_offline_more": "6/6"},
+        notes=PAPER["fig6"]["shape"])
+
+
+def run_fig07(fast: bool = False) -> ExperimentResult:
+    runs = cached_matrix(fast)
+    table = Table("Figure 7 — execution-time increase vs block size",
+                  ["application"] + [f"{s}MB" for s in BLOCK_SIZES_MIB])
+    worst = 0.0
+    for app in BLOCKSIZE_STUDY_SET:
+        values = [runs[(app, size)].overhead for size in BLOCK_SIZES_MIB]
+        worst = max(worst, max(values))
+        table.add_row(app, *[f"{v:.2%}" for v in values])
+    mcf = {size: runs[("429.mcf", size)].overhead
+           for size in BLOCK_SIZES_MIB}
+    return ExperimentResult(
+        experiment="fig7",
+        description=PAPER["fig7"]["description"],
+        tables=[table],
+        measured={"worst_overhead": worst,
+                  "mcf_128_overhead": mcf[128],
+                  "mcf_512_overhead": mcf[512],
+                  "mcf_overhead_grows_with_smaller_blocks":
+                      mcf[128] >= mcf[512]},
+        paper={"worst_overhead": PAPER["fig7"]["bound"],
+               "mcf_128_overhead": PAPER["fig7"]["mcf_overhead"][128],
+               "mcf_512_overhead": PAPER["fig7"]["mcf_overhead"][512],
+               "mcf_overhead_grows_with_smaller_blocks": True})
+
+
+def run_tab02(fast: bool = False) -> ExperimentResult:
+    runs = cached_matrix(fast)
+    table = Table("Table 2 — off-lining events vs block size "
+                  "(paper value in parentheses)",
+                  ["application"] + [f"{s}MB" for s in BLOCK_SIZES_MIB])
+    paper_events = PAPER["tab2"]["offline_events"]
+    monotone = 0
+    for app in BLOCKSIZE_STUDY_SET:
+        cells = []
+        values = []
+        for size in BLOCK_SIZES_MIB:
+            events = runs[(app, size)].offline_events
+            values.append(events)
+            cells.append(f"{events} ({paper_events[app][size]})")
+        if values[0] >= values[1] >= values[2]:
+            monotone += 1
+        table.add_row(app, *cells)
+    return ExperimentResult(
+        experiment="tab2",
+        description=PAPER["tab2"]["description"],
+        tables=[table],
+        measured={
+            "gcc_events_128": runs[("403.gcc", 128)].offline_events,
+            "mcf_events_128": runs[("429.mcf", 128)].offline_events,
+            "apps_with_monotone_event_counts":
+                f"{monotone}/{len(BLOCKSIZE_STUDY_SET)}",
+        },
+        paper={"gcc_events_128": paper_events["403.gcc"][128],
+               "mcf_events_128": paper_events["429.mcf"][128],
+               "apps_with_monotone_event_counts": "6/6"})

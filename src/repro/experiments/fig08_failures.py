@@ -1,0 +1,53 @@
+"""Figure 8: off-lining failures, random vs removable-first selection.
+
+Random candidate selection trips over blocks with used or unmovable
+pages (EBUSY/EAGAIN); checking the sysfs ``removable`` flag first cuts
+failures roughly in half in the paper.  Applications with volatile
+footprints (gcc, soplex) fail more than stable ones (mcf).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import Table
+from repro.core.config import SelectionPolicy
+from repro.experiments.blocksize_study import run_app
+from repro.experiments.common import ExperimentResult
+from repro.workloads.spec import BLOCKSIZE_STUDY_SET
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    table = Table("Figure 8 — off-lining failures by selection policy "
+                  "(EBUSY + EAGAIN)",
+                  ["application", "random", "removable-first", "reduction"])
+    totals = {SelectionPolicy.RANDOM: 0,
+              SelectionPolicy.REMOVABLE_FIRST: 0}
+    per_app = {}
+    for app in BLOCKSIZE_STUDY_SET:
+        counts = {}
+        for policy in (SelectionPolicy.RANDOM,
+                       SelectionPolicy.REMOVABLE_FIRST):
+            run_result = run_app(app, 128, policy=policy, fast=fast,
+                                 seed=101)
+            ebusy, eagain = run_result.failures
+            counts[policy] = ebusy + eagain
+            totals[policy] += ebusy + eagain
+        per_app[app] = counts
+        random_count = counts[SelectionPolicy.RANDOM]
+        careful = counts[SelectionPolicy.REMOVABLE_FIRST]
+        reduction = (1 - careful / random_count) if random_count else 0.0
+        table.add_row(app, random_count, careful, f"{reduction:.0%}")
+
+    overall = (1 - totals[SelectionPolicy.REMOVABLE_FIRST]
+               / totals[SelectionPolicy.RANDOM]
+               if totals[SelectionPolicy.RANDOM] else 0.0)
+    volatile = per_app["403.gcc"][SelectionPolicy.RANDOM]
+    stable = per_app["429.mcf"][SelectionPolicy.RANDOM]
+    return ExperimentResult(
+        experiment="fig8",
+        description=PAPER["fig8"]["description"],
+        tables=[table],
+        measured={"failure_reduction": overall,
+                  "volatile_fail_more_than_stable": volatile >= stable},
+        paper={"failure_reduction": PAPER["fig8"]["failure_reduction"],
+               "volatile_fail_more_than_stable": True})

@@ -1,0 +1,71 @@
+"""Figure 12: off-lined memory blocks over the Azure VM trace.
+
+256GB platform with 1GB blocks (256 of them).  Paper: GreenDIMM
+off-lines 116 blocks on average (45% of capacity), between 4 (peak
+demand) and 230 (trough), cutting DRAM background power by ~46%; KSM
+adds ~61 more blocks, for a ~70% background-power cut.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.paper import PAPER
+from repro.analysis.report import Table
+from repro.experiments.common import ExperimentResult
+from repro.experiments.vm_trace_study import replay
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    plain, _sys_plain = replay(False, fast)
+    merged, _sys_merged = replay(True, fast)
+
+    series = Table("Figure 12 — off-lined blocks over the day "
+                   "(hourly means, 256 x 1GB blocks)",
+                   ["hour", "w/o ksm", "w/ ksm"])
+    per_hour = max(1, 3600 // 10)
+    for start in range(0, len(plain.samples), per_hour):
+        chunk = slice(start, start + per_hour)
+        p = plain.samples[chunk]
+        m = merged.samples[chunk]
+        if not p or not m:
+            continue
+        series.add_row(start // per_hour,
+                       f"{sum(s.offline_blocks for s in p) / len(p):.0f}",
+                       f"{sum(s.offline_blocks for s in m) / len(m):.0f}")
+
+    # The paper computes its 46%/70% background reductions by *assuming*
+    # every off-lined block's groups are gated; our primary number uses
+    # the actually-gated fraction, which pair-gating and partially
+    # covered groups keep a few points lower.  Both are reported.
+    paper_method = (plain.mean_offline_blocks / plain.total_blocks
+                    * 0.97 * 0.98)
+    paper_method_ksm = (merged.mean_offline_blocks / merged.total_blocks
+                        * 0.97 * 0.98)
+    return ExperimentResult(
+        experiment="fig12",
+        description=PAPER["fig12"]["description"],
+        tables=[series],
+        measured={
+            "mean_offline_blocks": plain.mean_offline_blocks,
+            "max_offline_blocks": plain.max_offline_blocks,
+            "min_offline_blocks": plain.min_offline_blocks,
+            "background_power_reduction": plain.background_power_reduction,
+            "background_reduction_paper_method": paper_method,
+            "ksm_extra_blocks": (merged.mean_offline_blocks
+                                 - plain.mean_offline_blocks),
+            "ksm_background_power_reduction":
+                merged.background_power_reduction,
+            "ksm_background_reduction_paper_method": paper_method_ksm,
+        },
+        paper={
+            **{key: PAPER["fig12"][key] for key in (
+                "mean_offline_blocks", "max_offline_blocks",
+                "min_offline_blocks", "background_power_reduction",
+                "ksm_extra_blocks", "ksm_background_power_reduction")},
+            "background_reduction_paper_method":
+                PAPER["fig12"]["background_power_reduction"],
+            "ksm_background_reduction_paper_method":
+                PAPER["fig12"]["ksm_background_power_reduction"],
+        },
+        notes="the paper assumes off-lined => gated; the 'paper_method' "
+              "rows apply that assumption, the primary rows charge the "
+              "sense-amp pairing and partially covered groups honestly")

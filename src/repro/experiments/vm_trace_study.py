@@ -1,0 +1,48 @@
+"""Shared 24-hour Azure-trace replays (Figures 1, 12, 13).
+
+One full-system run per KSM setting on the 256GB platform, memoized so
+the three figures share the same simulations.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Tuple
+
+from repro.core.config import GreenDIMMConfig
+from repro.core.system import GreenDIMMSystem
+from repro.dram.organization import azure_server_memory
+from repro.sim.server import ServerSimulator, VMTraceRunResult
+from repro.units import GIB
+from repro.workloads.azure import AzureTrace, AzureTraceGenerator
+
+#: Kernel/boot reservation on the 256GB platform.
+KERNEL_BYTES = 4 * GIB
+
+#: Fig. 12 uses 1GB memory blocks on the 256GB platform (256 blocks).
+BLOCK_BYTES = GIB
+
+
+def make_trace(fast: bool = False, seed: int = 7) -> AzureTrace:
+    """The 24-hour VM trace (6 hours around the diurnal peak when fast)."""
+    organization = azure_server_memory()
+    duration = (6 * 3600.0) if fast else (24 * 3600.0)
+    return AzureTraceGenerator(
+        capacity_bytes=organization.total_capacity_bytes - 5 * GIB,
+        physical_cores=16, duration_s=duration, seed=seed).generate()
+
+
+@functools.lru_cache(maxsize=4)
+def replay(enable_ksm: bool, fast: bool = False
+           ) -> Tuple[VMTraceRunResult, "GreenDIMMSystem"]:
+    """Replay the trace against a GreenDIMM-managed 256GB server."""
+    config = GreenDIMMConfig(block_bytes=BLOCK_BYTES)
+    system = GreenDIMMSystem(organization=azure_server_memory(),
+                             config=config,
+                             kernel_boot_bytes=KERNEL_BYTES,
+                             enable_ksm=enable_ksm,
+                             transient_failure_probability=0.85, seed=5)
+    simulator = ServerSimulator(system, seed=5)
+    trace = make_trace(fast=fast)
+    result = simulator.run_vm_trace(trace, epoch_s=10.0)
+    return result, system

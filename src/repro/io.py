@@ -1,0 +1,128 @@
+"""Serialization: traces and results to/from JSON files.
+
+Lets users capture a generated VM trace (so every policy comparison
+replays the *same* day), save footprint traces for custom workloads, and
+export epoch samples for external plotting.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import List, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.server import EpochSample
+from repro.workloads.azure import (
+    AzureTrace,
+    UtilizationSample,
+    VMEvent,
+    VMInstance,
+    VMType,
+)
+from repro.workloads.trace import FootprintTrace
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT_VERSION = 1
+
+
+def _write(path: PathLike, kind: str, payload: dict) -> None:
+    document = {"format": kind, "version": _FORMAT_VERSION, **payload}
+    pathlib.Path(path).write_text(json.dumps(document, indent=1))
+
+
+def _read(path: PathLike, kind: str) -> dict:
+    document = json.loads(pathlib.Path(path).read_text())
+    if document.get("format") != kind:
+        raise ConfigurationError(
+            f"{path} holds {document.get('format')!r}, expected {kind!r}")
+    if document.get("version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported {kind} version {document.get('version')}")
+    return document
+
+
+# --- footprint traces -------------------------------------------------------
+
+def save_footprint_trace(trace: FootprintTrace, path: PathLike) -> None:
+    """Write a footprint trace as JSON."""
+    _write(path, "footprint-trace",
+           {"points": [[t, b] for t, b in trace.points]})
+
+
+def load_footprint_trace(path: PathLike) -> FootprintTrace:
+    """Read a footprint trace written by :func:`save_footprint_trace`."""
+    document = _read(path, "footprint-trace")
+    return FootprintTrace.of([(t, b) for t, b in document["points"]])
+
+
+# --- VM traces ------------------------------------------------------------------
+
+def _vm_type_to_dict(vm_type: VMType) -> dict:
+    return {"name": vm_type.name, "vcpus": vm_type.vcpus,
+            "memory_bytes": vm_type.memory_bytes,
+            "lifetime_mu": vm_type.lifetime_mu,
+            "lifetime_sigma": vm_type.lifetime_sigma,
+            "image_id": vm_type.image_id}
+
+
+def save_azure_trace(trace: AzureTrace, path: PathLike) -> None:
+    """Write an Azure-like VM trace (events + utilization) as JSON."""
+    types: dict = {}
+    events = []
+    for event in trace.events:
+        vm = event.instance
+        types.setdefault(vm.vm_type.name, _vm_type_to_dict(vm.vm_type))
+        events.append({"time_s": event.time_s, "kind": event.kind,
+                       "vm_id": vm.vm_id, "type": vm.vm_type.name,
+                       "arrival_s": vm.arrival_s,
+                       "departure_s": vm.departure_s})
+    samples = [{"time_s": s.time_s, "used_bytes": s.used_bytes,
+                "vcpus_used": s.vcpus_used} for s in trace.samples]
+    _write(path, "azure-trace", {
+        "capacity_bytes": trace.capacity_bytes,
+        "vm_types": types, "events": events, "samples": samples})
+
+
+def load_azure_trace(path: PathLike) -> AzureTrace:
+    """Read a VM trace written by :func:`save_azure_trace`.
+
+    VM identity is preserved: the same ``vm_id`` maps to one
+    :class:`VMInstance` shared by its arrive and depart events, exactly
+    as the generator produces.
+    """
+    document = _read(path, "azure-trace")
+    types = {name: VMType(**fields)
+             for name, fields in document["vm_types"].items()}
+    instances: dict = {}
+    events: List[VMEvent] = []
+    for record in document["events"]:
+        vm_id = record["vm_id"]
+        if vm_id not in instances:
+            instances[vm_id] = VMInstance(
+                vm_id=vm_id, vm_type=types[record["type"]],
+                arrival_s=record["arrival_s"],
+                departure_s=record["departure_s"])
+        events.append(VMEvent(time_s=record["time_s"], kind=record["kind"],
+                              instance=instances[vm_id]))
+    samples = [UtilizationSample(**s) for s in document["samples"]]
+    return AzureTrace(events=events, samples=samples,
+                      capacity_bytes=document["capacity_bytes"])
+
+
+# --- epoch samples ---------------------------------------------------------------
+
+def save_epoch_samples(samples: List[EpochSample], path: PathLike) -> None:
+    """Write a run's epoch series (for external plotting) as JSON."""
+    _write(path, "epoch-samples", {"samples": [
+        {"time_s": s.time_s, "used_pages": s.used_pages,
+         "free_pages": s.free_pages, "offline_blocks": s.offline_blocks,
+         "dpd_fraction": s.dpd_fraction, "dram_power_w": s.dram_power_w}
+        for s in samples]})
+
+
+def load_epoch_samples(path: PathLike) -> List[EpochSample]:
+    """Read an epoch series written by :func:`save_epoch_samples`."""
+    document = _read(path, "epoch-samples")
+    return [EpochSample(**record) for record in document["samples"]]

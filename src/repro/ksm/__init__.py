@@ -1,0 +1,33 @@
+"""Kernel Samepage Merging substrate.
+
+Reproduces the KSM mechanism of Section 2.4: applications (or the KVM
+hypervisor on behalf of VMs) advise regions as mergeable via
+``madvise(MADV_MERGEABLE)``; the ksmd daemon scans a bounded number of
+pages per pass (the paper configures 1000 pages every 50 ms), looks each
+page up in a *stable tree* of already-shared pages and an *unstable tree*
+of candidate pages, merges identical content into write-protected shared
+pages, and breaks shares copy-on-write when a sharer writes.
+
+Page *content* is modelled as fingerprint histograms per region (zero
+pages, image-derived pages shared across VMs cloned from the same image,
+and unique pages), which reproduces the observable the paper cares
+about: a 4-90% (mean ~24%) reduction in used capacity on the Azure mix.
+"""
+
+from repro.ksm.content import RegionContent, ContentStats
+from repro.ksm.trees import StableTree, UnstableTree
+from repro.ksm.daemon import KSMDaemon, KSMConfig, KSMStats
+from repro.ksm.madvise import MadviseRegistry, MADV_MERGEABLE, MADV_UNMERGEABLE
+
+__all__ = [
+    "RegionContent",
+    "ContentStats",
+    "StableTree",
+    "UnstableTree",
+    "KSMDaemon",
+    "KSMConfig",
+    "KSMStats",
+    "MadviseRegistry",
+    "MADV_MERGEABLE",
+    "MADV_UNMERGEABLE",
+]

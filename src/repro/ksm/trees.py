@@ -1,0 +1,211 @@
+"""The stable and unstable trees of ksmd.
+
+Real ksmd keeps two red-black trees ordered by page *content*: the stable
+tree holds write-protected shared pages, the unstable tree holds
+candidate pages seen with an unchanged checksum across two passes.  We
+key both by a content fingerprint (a stand-in for memcmp ordering) and
+implement them as treaps — balanced enough, and honest about being real
+ordered trees rather than hash maps, so lookup costs scale the way the
+paper's 10%-of-a-core ksmd budget implies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass
+class _Node:
+    key: int
+    priority: float
+    value: object
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+
+class _Treap:
+    """Minimal treap keyed by integer fingerprints."""
+
+    def __init__(self, seed: int = 0):
+        self._root: Optional[_Node] = None
+        self._rng = random.Random(seed)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def search(self, key: int) -> Optional[object]:
+        node = self._root
+        while node is not None:
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        return None
+
+    def insert(self, key: int, value: object) -> None:
+        """Insert (or replace) *key*."""
+
+        def _insert(node: Optional[_Node]) -> _Node:
+            if node is None:
+                self._size += 1
+                return _Node(key, self._rng.random(), value)
+            if key == node.key:
+                node.value = value
+                return node
+            if key < node.key:
+                node.left = _insert(node.left)
+                if node.left.priority > node.priority:
+                    node = self._rotate_right(node)
+            else:
+                node.right = _insert(node.right)
+                if node.right.priority > node.priority:
+                    node = self._rotate_left(node)
+            return node
+
+        self._root = _insert(self._root)
+
+    def remove(self, key: int) -> bool:
+        """Remove *key*; returns whether it was present."""
+        removed = [False]
+
+        def _remove(node: Optional[_Node]) -> Optional[_Node]:
+            if node is None:
+                return None
+            if key < node.key:
+                node.left = _remove(node.left)
+                return node
+            if key > node.key:
+                node.right = _remove(node.right)
+                return node
+            removed[0] = True
+            return self._merge(node.left, node.right)
+
+        self._root = _remove(self._root)
+        if removed[0]:
+            self._size -= 1
+        return removed[0]
+
+    def clear(self) -> None:
+        self._root = None
+        self._size = 0
+
+    def keys(self) -> Iterator[int]:
+        def _walk(node: Optional[_Node]) -> Iterator[int]:
+            if node is None:
+                return
+            yield from _walk(node.left)
+            yield node.key
+            yield from _walk(node.right)
+
+        yield from _walk(self._root)
+
+    @staticmethod
+    def _rotate_right(node: _Node) -> _Node:
+        pivot = node.left
+        node.left = pivot.right
+        pivot.right = node
+        return pivot
+
+    @staticmethod
+    def _rotate_left(node: _Node) -> _Node:
+        pivot = node.right
+        node.right = pivot.left
+        pivot.left = node
+        return pivot
+
+    def _merge(self, left: Optional[_Node],
+               right: Optional[_Node]) -> Optional[_Node]:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        if left.priority >= right.priority:
+            left.right = self._merge(left.right, right)
+            return left
+        right.left = self._merge(left, right.left)
+        return right
+
+
+@dataclass
+class SharedPage:
+    """A write-protected page in the stable tree with its sharer count."""
+
+    fingerprint: int
+    sharers: int = 1
+
+
+class StableTree:
+    """Shared, write-protected pages keyed by content fingerprint."""
+
+    def __init__(self) -> None:
+        self._tree = _Treap(seed=1)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def lookup(self, fingerprint: int) -> Optional[SharedPage]:
+        value = self._tree.search(fingerprint)
+        return value  # type: ignore[return-value]
+
+    def insert(self, fingerprint: int, sharers: int = 2) -> SharedPage:
+        """Promote content into the stable tree with *sharers* users."""
+        page = SharedPage(fingerprint=fingerprint, sharers=sharers)
+        self._tree.insert(fingerprint, page)
+        return page
+
+    def add_sharer(self, fingerprint: int) -> SharedPage:
+        page = self.lookup(fingerprint)
+        if page is None:
+            raise KeyError(fingerprint)
+        page.sharers += 1
+        return page
+
+    def drop_sharer(self, fingerprint: int) -> int:
+        """A sharer wrote (CoW) or exited; returns remaining sharers.
+
+        When the count reaches one, the page is no longer shared and
+        leaves the tree (the lone user keeps a private copy).
+        """
+        page = self.lookup(fingerprint)
+        if page is None:
+            raise KeyError(fingerprint)
+        page.sharers -= 1
+        if page.sharers <= 1:
+            self._tree.remove(fingerprint)
+            return 0
+        return page.sharers
+
+    def fingerprints(self) -> Iterator[int]:
+        return self._tree.keys()
+
+
+class UnstableTree:
+    """Candidate pages whose checksum was stable across passes.
+
+    Rebuilt from scratch every scan pass, exactly as ksmd does — the
+    kernel deliberately tolerates this tree being stale or unbalanced.
+    """
+
+    def __init__(self) -> None:
+        self._tree = _Treap(seed=2)
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def find_or_insert(self, fingerprint: int, handle: object) -> Optional[object]:
+        """Return the existing holder of *fingerprint*, or insert *handle*.
+
+        A hit means two pages with identical content met in the same pass:
+        the caller merges them and promotes the content to the stable tree.
+        """
+        existing = self._tree.search(fingerprint)
+        if existing is not None:
+            return existing
+        self._tree.insert(fingerprint, handle)
+        return None
+
+    def reset(self) -> None:
+        """Drop the whole tree at the end of a scan pass."""
+        self._tree.clear()

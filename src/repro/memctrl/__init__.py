@@ -1,0 +1,30 @@
+"""Memory-controller substrate.
+
+A cycle-approximate DDR4 controller used for the motivation experiments
+(Section 3.3): it shows how interleaving spreads even tiny footprints over
+every rank and kills rank/bank low-power residency, and how disabling
+interleaving restores it at a bandwidth cost.  It also hosts the
+controller-side hardware GreenDIMM adds: the sub-array-group refresh-mask
+register (one bit per group, 64 bits total regardless of topology) and the
+wake-up ready bit the OS polls before on-lining (Section 4.3).
+"""
+
+from repro.memctrl.request import MemoryRequest, AccessType
+from repro.memctrl.bankstate import BankState
+from repro.memctrl.lowpower import RankLowPowerPolicy, LowPowerConfig, RankResidency
+from repro.memctrl.pasr import PASRBitVector
+from repro.memctrl.registers import GreenDIMMControlRegister
+from repro.memctrl.controller import MemoryController, ControllerStats
+
+__all__ = [
+    "MemoryRequest",
+    "AccessType",
+    "BankState",
+    "RankLowPowerPolicy",
+    "LowPowerConfig",
+    "RankResidency",
+    "PASRBitVector",
+    "GreenDIMMControlRegister",
+    "MemoryController",
+    "ControllerStats",
+]

@@ -1,0 +1,55 @@
+"""Per-bank row-buffer state and timing bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.timing import DDR4Timing
+
+
+@dataclass
+class BankState:
+    """One (channel, rank, bank) row buffer.
+
+    ``ready_ns`` is the earliest time the bank can accept a new column or
+    row command; the controller advances it as it schedules commands.
+    """
+
+    open_row: Optional[int] = None
+    ready_ns: float = 0.0
+    activations: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+
+    def access(self, row: int, now_ns: float, timing: DDR4Timing) -> float:
+        """Schedule one 64B access to *row* at or after *now_ns*.
+
+        Returns the completion time of the data burst.  Implements the
+        classic open-page policy: row hit pays CL+burst, row miss pays
+        (PRE +) ACT + CL + burst.
+        """
+        start = max(now_ns, self.ready_ns)
+        if self.open_row == row:
+            self.row_hits += 1
+            finish = start + timing.cl_ns + timing.burst_duration_ns
+            self.ready_ns = start + timing.burst_duration_ns
+        else:
+            penalty = timing.trp_ns if self.open_row is not None else 0.0
+            self.row_misses += 1
+            self.activations += 1
+            start += penalty
+            finish = start + timing.trcd_ns + timing.cl_ns + timing.burst_duration_ns
+            self.ready_ns = start + timing.trcd_ns + timing.burst_duration_ns
+            self.open_row = row
+        return finish
+
+    def precharge(self) -> None:
+        """Close the open row (needed before the rank enters a low-power
+        state, which requires all banks precharged)."""
+        self.open_row = None
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0

@@ -1,0 +1,150 @@
+"""Rank-granularity low-power management (the baseline mechanism).
+
+Commodity controllers demote an idle rank to power-down after a short
+idle window and to self-refresh after a longer one; any request to the
+rank first pays the wake-up latency (Section 2.2).  The residency
+counters collected here back the Figure 3b reproduction, where
+interleaving drives self-refresh residency to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.power.states import PowerState, exit_latency_ns
+
+
+@dataclass(frozen=True)
+class LowPowerConfig:
+    """Idle-timeout policy for one rank.
+
+    Defaults follow common BIOS behaviour: demote to power-down within
+    about a microsecond of idleness and to self-refresh after a long
+    quiet period.  ``enabled=False`` models power management turned off.
+    """
+
+    enabled: bool = True
+    powerdown_idle_ns: float = 1_000.0
+    selfrefresh_idle_ns: float = 64_000.0
+
+    def __post_init__(self) -> None:
+        if self.selfrefresh_idle_ns < self.powerdown_idle_ns:
+            raise ConfigurationError(
+                "self-refresh threshold must be >= power-down threshold")
+
+
+@dataclass
+class RankResidency:
+    """Time a rank spent in each state, in nanoseconds."""
+
+    time_ns: Dict[PowerState, float] = field(
+        default_factory=lambda: {state: 0.0 for state in PowerState})
+
+    def add(self, state: PowerState, duration_ns: float) -> None:
+        self.time_ns[state] += duration_ns
+
+    @property
+    def total_ns(self) -> float:
+        return sum(self.time_ns.values())
+
+    def fraction(self, state: PowerState) -> float:
+        total = self.total_ns
+        return self.time_ns[state] / total if total else 0.0
+
+    def residency_map(self) -> Dict[PowerState, float]:
+        """Normalized residency fractions (for the DRAM power model)."""
+        total = self.total_ns
+        if not total:
+            return {PowerState.PRECHARGE_STANDBY: 1.0}
+        return {state: t / total for state, t in self.time_ns.items() if t > 0}
+
+
+class RankLowPowerPolicy:
+    """Tracks one rank's idleness and applies the timeout demotion policy.
+
+    The caller tells it when requests finish on the rank
+    (:meth:`note_activity`) and asks what wake-penalty a request arriving
+    at a given time pays (:meth:`wake_penalty_ns`); :meth:`account_until`
+    folds elapsed time into the residency counters.
+    """
+
+    def __init__(self, config: LowPowerConfig):
+        self.config = config
+        self.last_activity_ns = 0.0
+        self._accounted_ns = 0.0
+        self.residency = RankResidency()
+        self.wakeups = 0
+
+    def _state_at_idle(self, idle_ns: float) -> PowerState:
+        if not self.config.enabled:
+            return PowerState.PRECHARGE_STANDBY
+        if idle_ns >= self.config.selfrefresh_idle_ns:
+            return PowerState.SELF_REFRESH
+        if idle_ns >= self.config.powerdown_idle_ns:
+            return PowerState.POWER_DOWN
+        return PowerState.PRECHARGE_STANDBY
+
+    def state_at(self, now_ns: float) -> PowerState:
+        """Power state the rank is in at *now_ns* (if still idle)."""
+        return self._state_at_idle(max(0.0, now_ns - self.last_activity_ns))
+
+    def wake_penalty_ns(self, now_ns: float) -> float:
+        """Exit latency a request arriving at *now_ns* must pay."""
+        state = self.state_at(now_ns)
+        penalty = exit_latency_ns(state)
+        if penalty:
+            self.wakeups += 1
+        return penalty
+
+    def account_until(self, now_ns: float) -> None:
+        """Attribute [last accounted, now) to the states the rank passed
+        through while idle."""
+        start = self._accounted_ns
+        if now_ns <= start:
+            return
+        idle_origin = self.last_activity_ns
+        if start < idle_origin:
+            busy_end = min(idle_origin, now_ns)
+            self.residency.add(PowerState.ACTIVE_STANDBY, busy_end - start)
+            start = busy_end
+            self._accounted_ns = start
+            if now_ns <= start:
+                return
+        # Boundaries where the state changes, in absolute time.
+        boundaries = [
+            (idle_origin + self.config.powerdown_idle_ns, PowerState.PRECHARGE_STANDBY),
+            (idle_origin + self.config.selfrefresh_idle_ns, PowerState.POWER_DOWN),
+            (float("inf"), PowerState.SELF_REFRESH),
+        ]
+        if not self.config.enabled:
+            boundaries = [(float("inf"), PowerState.PRECHARGE_STANDBY)]
+        cursor = start
+        for boundary, state in boundaries:
+            if cursor >= now_ns:
+                break
+            span_end = min(boundary, now_ns)
+            if span_end > cursor:
+                self.residency.add(state, span_end - cursor)
+                cursor = span_end
+        self._accounted_ns = now_ns
+
+    def note_activity(self, finish_ns: float,
+                      busy_from_ns: Optional[float] = None) -> None:
+        """A request was served on this rank, finishing at *finish_ns*.
+
+        When *busy_from_ns* is given, the span [busy_from, finish) is
+        attributed to ACTIVE_STANDBY (a row was open serving the burst);
+        the idle time before it is attributed by the demotion ladder.
+        """
+        if busy_from_ns is not None and busy_from_ns < finish_ns:
+            self.account_until(min(busy_from_ns, finish_ns))
+            start = max(self._accounted_ns, busy_from_ns)
+            if finish_ns > start:
+                self.residency.add(PowerState.ACTIVE_STANDBY,
+                                   finish_ns - start)
+                self._accounted_ns = finish_ns
+        else:
+            self.account_until(finish_ns)
+        self.last_activity_ns = max(self.last_activity_ns, finish_ns)

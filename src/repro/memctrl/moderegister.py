@@ -1,0 +1,107 @@
+"""DRAM mode registers: how the gating commands actually reach devices.
+
+Section 4.3: "the memory controller sets the DRAM mode register such
+that the peripheral and I/O circuits of sub-arrays are turned off ...
+after the DRAM mode register of every DRAM device in a rank is
+concurrently updated, each DRAM device turns off the power gates".
+
+This module models that command path: a per-rank mode-register file
+whose GreenDIMM field is the 64-bit sub-array-group mask, programmed
+with MRS commands.  An MRS command carries 16 payload bits (one MR
+write), so refreshing the full mask costs four MRS commands per rank,
+each taking tMRD.  All devices of a rank latch the same MRS broadcast —
+that is why the paper needs no per-device state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+
+#: MRS-to-MRS command spacing, nanoseconds (DDR4 tMRD = 8 tCK).
+TMRD_NS = 7.5
+
+#: Payload bits one MRS write can update.
+MRS_PAYLOAD_BITS = 16
+
+
+@dataclass
+class RankModeState:
+    """The mode-register fields one rank's devices currently hold."""
+
+    #: The vendor-defined sub-array-gate mask (bit i = group i gated).
+    subarray_gate_mask: int = 0
+    #: MRS commands issued to this rank so far.
+    mrs_commands: int = 0
+
+
+class ModeRegisterFile:
+    """Controller-side shadow of every rank's mode registers.
+
+    ``program_gate_mask`` computes which 16-bit MR slices changed and
+    issues only those MRS writes, returning the command latency — the
+    realistic cost of a gating update.
+    """
+
+    def __init__(self, total_ranks: int, mask_bits: int = 64):
+        if total_ranks <= 0:
+            raise ConfigurationError("need at least one rank")
+        if mask_bits % MRS_PAYLOAD_BITS:
+            raise ConfigurationError(
+                "mask width must be a multiple of the MRS payload")
+        self.total_ranks = total_ranks
+        self.mask_bits = mask_bits
+        self._ranks: List[RankModeState] = [RankModeState()
+                                            for _ in range(total_ranks)]
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.total_ranks:
+            raise ConfigurationError(f"rank {rank} out of range")
+
+    def rank_state(self, rank: int) -> RankModeState:
+        self._check_rank(rank)
+        return self._ranks[rank]
+
+    def _changed_slices(self, old: int, new: int) -> List[int]:
+        slices = []
+        for index in range(self.mask_bits // MRS_PAYLOAD_BITS):
+            shift = index * MRS_PAYLOAD_BITS
+            payload_mask = ((1 << MRS_PAYLOAD_BITS) - 1) << shift
+            if (old ^ new) & payload_mask:
+                slices.append(index)
+        return slices
+
+    def program_gate_mask(self, rank: int, mask: int) -> float:
+        """Bring one rank's gate mask to *mask*; returns MRS latency (ns)."""
+        self._check_rank(rank)
+        if mask >> self.mask_bits:
+            raise ConfigurationError("mask wider than the register")
+        state = self._ranks[rank]
+        slices = self._changed_slices(state.subarray_gate_mask, mask)
+        state.subarray_gate_mask = mask
+        state.mrs_commands += len(slices)
+        return len(slices) * TMRD_NS
+
+    def broadcast_gate_mask(self, mask: int) -> float:
+        """Program every rank (GreenDIMM gates groups across all ranks).
+
+        Ranks on different channels program in parallel; ranks sharing a
+        command bus serialize — we return the worst-rank latency times
+        one, as channels dominate parallelism in practice, and expose
+        per-rank command counts for finer accounting.
+        """
+        worst = 0.0
+        for rank in range(self.total_ranks):
+            worst = max(worst, self.program_gate_mask(rank, mask))
+        return worst
+
+    def consistent(self) -> bool:
+        """All ranks hold the same mask (the lock-step invariant)."""
+        masks = {state.subarray_gate_mask for state in self._ranks}
+        return len(masks) <= 1
+
+    def command_counts(self) -> Dict[int, int]:
+        return {rank: state.mrs_commands
+                for rank, state in enumerate(self._ranks)}

@@ -1,0 +1,35 @@
+"""Memory requests as seen by the controller."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AccessType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class MemoryRequest:
+    """One 64-byte demand access.
+
+    ``arrival_ns`` is when the request reaches the controller;
+    ``finish_ns`` is filled in by the controller when data transfer
+    completes (including any low-power wake-up the target rank paid).
+    """
+
+    address: int
+    access: AccessType = AccessType.READ
+    arrival_ns: float = 0.0
+    finish_ns: float = field(default=0.0, compare=False)
+
+    @property
+    def is_write(self) -> bool:
+        return self.access is AccessType.WRITE
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival-to-finish latency (valid after simulation)."""
+        return self.finish_ns - self.arrival_ns

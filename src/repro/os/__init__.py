@@ -1,0 +1,37 @@
+"""OS physical-memory-management substrate.
+
+Reproduces the Linux machinery GreenDIMM drives (Sections 2.3 and 5):
+a buddy allocator over page frames, Normal/Movable zones (``movablecore``),
+an extent-granularity ``mem_map``, page migration, and memory-block
+on/off-lining with the EBUSY/EAGAIN failure modes and latencies the paper
+measures in Table 3.  A small sysfs facade mirrors the
+``/sys/devices/system/memory`` interface the real daemon would use.
+"""
+
+from repro.os.buddy import BuddyAllocator
+from repro.os.page import PageExtent, OwnerKind
+from repro.os.zones import Zone, ZoneKind, ZoneLayout
+from repro.os.mm import PhysicalMemoryManager, Meminfo
+from repro.os.hotplug import (
+    MemoryBlockManager,
+    MemoryBlockState,
+    HotplugLatencyModel,
+    HotplugStats,
+)
+from repro.os.sysfs import SysfsMemoryInterface
+
+__all__ = [
+    "BuddyAllocator",
+    "PageExtent",
+    "OwnerKind",
+    "Zone",
+    "ZoneKind",
+    "ZoneLayout",
+    "PhysicalMemoryManager",
+    "Meminfo",
+    "MemoryBlockManager",
+    "MemoryBlockState",
+    "HotplugLatencyModel",
+    "HotplugStats",
+    "SysfsMemoryInterface",
+]

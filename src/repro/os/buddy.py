@@ -1,0 +1,256 @@
+"""A binary buddy allocator over page frames.
+
+Matches the Linux design closely enough for the hot-plug experiments:
+power-of-two blocks up to ``MAX_ORDER`` (order 10 = 4MiB with 4KiB pages),
+per-order free lists, buddy coalescing on free, and — crucially for memory
+off-lining — the ability to *isolate* a page-frame range (pull its free
+blocks out of the free lists so nothing gets allocated there while
+migration empties the rest of the range).
+
+Allocation prefers the lowest available address.  That mirrors the
+practical behaviour that makes off-lining effective: used memory packs
+toward low frames, leaving high blocks entirely free.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import AllocationError, ConfigurationError
+
+#: Largest buddy order (Linux MAX_ORDER - 1 on x86-64): 2**10 pages = 4MiB.
+MAX_ORDER = 10
+
+
+class BuddyAllocator:
+    """Buddy allocator over the frame range [start_pfn, start_pfn + total_pages).
+
+    The range must be aligned to, and a multiple of, the maximum block
+    size, which is always true for the zone layouts this library builds.
+    """
+
+    def __init__(self, start_pfn: int, total_pages: int, max_order: int = MAX_ORDER):
+        if max_order < 0 or max_order > MAX_ORDER:
+            raise ConfigurationError(f"max_order must be in [0, {MAX_ORDER}]")
+        block = 1 << max_order
+        if start_pfn % block or total_pages % block:
+            raise ConfigurationError(
+                "zone must be aligned to the maximum buddy block")
+        self.start_pfn = start_pfn
+        self.total_pages = total_pages
+        self.max_order = max_order
+        self._free_sets: List[Set[int]] = [set() for _ in range(max_order + 1)]
+        self._heaps: List[List[int]] = [[] for _ in range(max_order + 1)]
+        self._allocated: Dict[int, int] = {}  # pfn -> order
+        self._free_pages = 0
+        for pfn in range(start_pfn, start_pfn + total_pages, block):
+            self._insert(max_order, pfn)
+
+    # --- internal free-list maintenance -------------------------------------
+
+    def _insert(self, order: int, pfn: int) -> None:
+        self._free_sets[order].add(pfn)
+        heapq.heappush(self._heaps[order], pfn)
+        self._free_pages += 1 << order
+
+    def _discard(self, order: int, pfn: int) -> None:
+        """Remove a specific free block (heap entry stays, lazily skipped)."""
+        self._free_sets[order].remove(pfn)
+        self._free_pages -= 1 << order
+
+    def _pop_lowest(self, order: int) -> int:
+        """Pop the lowest-address free block of *order*."""
+        heap, live = self._heaps[order], self._free_sets[order]
+        while heap:
+            pfn = heapq.heappop(heap)
+            if pfn in live:
+                live.remove(pfn)
+                self._free_pages -= 1 << order
+                self._maybe_compact(order)
+                return pfn
+        raise AllocationError(f"no free block of order {order}")
+
+    def _maybe_compact(self, order: int) -> None:
+        """Rebuild a heap when stale entries dominate it."""
+        heap, live = self._heaps[order], self._free_sets[order]
+        if len(heap) > 4 * len(live) + 64:
+            self._heaps[order] = sorted(live)
+
+    # --- public queries -------------------------------------------------------
+
+    @property
+    def free_pages(self) -> int:
+        """Pages currently in the free lists (isolated pages excluded)."""
+        return self._free_pages
+
+    @property
+    def end_pfn(self) -> int:
+        return self.start_pfn + self.total_pages
+
+    def owns(self, pfn: int) -> bool:
+        return self.start_pfn <= pfn < self.end_pfn
+
+    def free_blocks(self, order: int) -> Set[int]:
+        """Snapshot of the free-list of one order (for tests/inspection)."""
+        return set(self._free_sets[order])
+
+    # --- allocation ---------------------------------------------------------
+
+    def alloc_block(self, order: int) -> int:
+        """Allocate one block of 2**order pages; returns its first pfn.
+
+        Splits a larger block when the requested order's list is empty,
+        always preferring the lowest address available.
+        """
+        if not 0 <= order <= self.max_order:
+            raise AllocationError(f"order {order} out of range")
+        source = order
+        while source <= self.max_order and not self._free_sets[source]:
+            source += 1
+        if source > self.max_order:
+            raise AllocationError(f"out of memory for order-{order} block")
+        pfn = self._pop_lowest(source)
+        while source > order:
+            source -= 1
+            self._insert(source, pfn + (1 << source))  # keep the low half
+        self._allocated[pfn] = order
+        return pfn
+
+    def alloc_pages(self, count: int) -> List[Tuple[int, int]]:
+        """Allocate *count* pages as a list of (pfn, order) extents.
+
+        Greedy: largest orders first, falling back to smaller orders as the
+        free lists fragment.  All-or-nothing — on failure everything grabbed
+        so far is freed again and :class:`AllocationError` is raised.
+        """
+        if count <= 0:
+            raise AllocationError("count must be positive")
+        grabbed: List[Tuple[int, int]] = []
+        remaining = count
+        try:
+            while remaining > 0:
+                order = min(self.max_order, remaining.bit_length() - 1)
+                while order >= 0:
+                    try:
+                        pfn = self.alloc_block(order)
+                        break
+                    except AllocationError:
+                        order -= 1
+                else:
+                    raise AllocationError(
+                        f"out of memory: {remaining} of {count} pages unsatisfied")
+                grabbed.append((pfn, order))
+                remaining -= 1 << order
+        except AllocationError:
+            for pfn, order in grabbed:
+                self.free_block(pfn, order)
+            raise
+        return grabbed
+
+    # --- freeing --------------------------------------------------------------
+
+    def free_block(self, pfn: int, order: int) -> None:
+        """Free a previously allocated block, coalescing with free buddies."""
+        recorded = self._allocated.pop(pfn, None)
+        if recorded != order:
+            raise AllocationError(
+                f"free of pfn {pfn} order {order} does not match allocation "
+                f"({recorded})")
+        while order < self.max_order:
+            buddy = pfn ^ (1 << order)
+            if buddy in self._free_sets[order]:
+                self._discard(order, buddy)
+                pfn = min(pfn, buddy)
+                order += 1
+            else:
+                break
+        self._insert(order, pfn)
+
+    # --- isolation for memory off-lining ---------------------------------------
+
+    def isolate_range(self, start_pfn: int, count: int) -> List[Tuple[int, int]]:
+        """Pull every free block inside [start_pfn, start_pfn+count) out of
+        the free lists, so the range cannot satisfy new allocations.
+
+        The range must be aligned to the maximum block size (memory blocks
+        always are), which guarantees free blocks never straddle it.
+        Returns the removed (pfn, order) blocks, to be passed back to
+        :meth:`undo_isolation` if off-lining fails.
+        """
+        block = 1 << self.max_order
+        if start_pfn % block or count % block:
+            raise ConfigurationError("isolation range must be block aligned")
+        removed: List[Tuple[int, int]] = []
+        for order in range(self.max_order + 1):
+            for pfn in self._free_in_range(order, start_pfn, count):
+                self._discard(order, pfn)
+                removed.append((pfn, order))
+        return removed
+
+    def _free_in_range(self, order: int, start_pfn: int, count: int) -> List[int]:
+        """Free blocks of *order* lying inside a range.
+
+        Iterates whichever is smaller — the candidate positions in the
+        range or the free list itself — so isolating a multi-GiB block
+        stays cheap even with 4KiB pages.
+        """
+        size = 1 << order
+        live = self._free_sets[order]
+        candidates = count // size
+        if len(live) <= candidates:
+            end = start_pfn + count
+            return [pfn for pfn in live if start_pfn <= pfn < end]
+        first = start_pfn + (-start_pfn % size)
+        return [pfn for pfn in range(first, start_pfn + count, size) if pfn in live]
+
+    def undo_isolation(self, removed: List[Tuple[int, int]]) -> None:
+        """Return blocks taken by :meth:`isolate_range` to the free lists."""
+        for pfn, order in removed:
+            self._insert(order, pfn)
+
+    def free_pages_in_range(self, start_pfn: int, count: int) -> int:
+        """Count free-list pages inside a range (used by removable checks)."""
+        total = 0
+        for order in range(self.max_order + 1):
+            total += len(self._free_in_range(order, start_pfn, count)) << order
+        return total
+
+    def add_range(self, start_pfn: int, count: int) -> None:
+        """Give a (previously off-lined) frame range back to the allocator."""
+        block = 1 << self.max_order
+        if start_pfn % block or count % block:
+            raise ConfigurationError("range must be block aligned")
+        for pfn in range(start_pfn, start_pfn + count, block):
+            self._insert(self.max_order, pfn)
+
+    def split_allocated(self, pfn: int, order: int) -> None:
+        """Split an allocated block into its two buddy halves in place.
+
+        Lets callers free part of an allocation exactly: split until the
+        piece to free is a whole block, then :meth:`free_block` it.
+        """
+        recorded = self._allocated.get(pfn)
+        if recorded != order:
+            raise AllocationError(
+                f"split of pfn {pfn} order {order} does not match allocation "
+                f"({recorded})")
+        if order == 0:
+            raise AllocationError("cannot split an order-0 block")
+        half = order - 1
+        self._allocated[pfn] = half
+        self._allocated[pfn + (1 << half)] = half
+
+    def remove_allocated(self, pfn: int, order: int) -> None:
+        """Drop an allocated block without returning it to the free lists.
+
+        Used during off-lining: pages migrated out of an isolated block
+        become free *but isolated* — they must not satisfy allocations.
+        The caller keeps the (pfn, order) pair to either discard it on
+        offline completion or hand it to :meth:`undo_isolation` on failure.
+        """
+        recorded = self._allocated.pop(pfn, None)
+        if recorded != order:
+            raise AllocationError(
+                f"remove of pfn {pfn} order {order} does not match allocation "
+                f"({recorded})")

@@ -1,0 +1,375 @@
+"""The physical memory manager: zones + extents + per-block accounting.
+
+This is the substrate's equivalent of the Linux mm core that GreenDIMM's
+daemon talks to: it satisfies allocations from the zone buddy allocators,
+keeps the ``mem_map`` (extent metadata), maintains per-memory-block usage
+counters that back the sysfs ``removable`` flag, migrates pages out of
+blocks being off-lined, and renders ``/proc/meminfo``-style snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.os.buddy import MAX_ORDER
+from repro.os.page import BlockAccounting, OwnerKind, PageExtent
+from repro.os.zones import Zone, ZoneKind, ZoneLayout
+from repro.units import DEFAULT_MEMORY_BLOCK_SIZE, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class Meminfo:
+    """A ``/proc/meminfo``-style snapshot, in pages.
+
+    ``total_pages`` counts only *on-lined* memory — exactly as the real
+    file shrinks when blocks go offline — while ``offlined_pages`` reports
+    what GreenDIMM has removed.
+    """
+
+    total_pages: int
+    free_pages: int
+    used_pages: int
+    offlined_pages: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_pages * PAGE_SIZE
+
+    @property
+    def free_bytes(self) -> int:
+        return self.free_pages * PAGE_SIZE
+
+    @property
+    def used_bytes(self) -> int:
+        return self.used_pages * PAGE_SIZE
+
+    @property
+    def utilization(self) -> float:
+        """Used fraction of on-lined capacity."""
+        return self.used_pages / self.total_pages if self.total_pages else 0.0
+
+    def render(self) -> str:
+        """Text rendering in the style of /proc/meminfo (kB units)."""
+        def kb(pages: int) -> int:
+            return pages * PAGE_SIZE // 1024
+        return (f"MemTotal:       {kb(self.total_pages):>12} kB\n"
+                f"MemFree:        {kb(self.free_pages):>12} kB\n"
+                f"MemUsed:        {kb(self.used_pages):>12} kB\n"
+                f"MemOffline:     {kb(self.offlined_pages):>12} kB\n")
+
+
+class PhysicalMemoryManager:
+    """Owns the frame space: allocation, freeing, migration, accounting.
+
+    Parameters
+    ----------
+    total_bytes:
+        Installed physical memory.
+    block_bytes:
+        Memory-block size for on/off-lining accounting (Linux default
+        128MiB; configurable like ``block_size_bytes`` in sysfs).
+    movable_fraction:
+        Fraction of the top of memory placed in ZONE_MOVABLE
+        (``movablecore``).
+    """
+
+    def __init__(self, total_bytes: int,
+                 block_bytes: int = DEFAULT_MEMORY_BLOCK_SIZE,
+                 movable_fraction: float = 0.75):
+        if total_bytes % block_bytes:
+            raise ConfigurationError("capacity must be a multiple of block size")
+        if block_bytes % ((1 << MAX_ORDER) * PAGE_SIZE):
+            raise ConfigurationError(
+                "block size must be a multiple of the max buddy block")
+        self.total_pages = total_bytes // PAGE_SIZE
+        self.block_pages = block_bytes // PAGE_SIZE
+        self.num_blocks = self.total_pages // self.block_pages
+        self.zones: List[Zone] = ZoneLayout(
+            self.total_pages, movable_fraction,
+            alignment_pages=self.block_pages).build()
+        self._extents: Dict[int, PageExtent] = {}
+        self._owners: Dict[str, Set[int]] = {}
+        self._blocks: List[BlockAccounting] = [
+            BlockAccounting() for _ in range(self.num_blocks)]
+        self._offlined_pages = 0
+        self._isolated_blocks: Set[int] = set()
+
+    # --- zone routing -----------------------------------------------------
+
+    def _zones_for(self, kind: OwnerKind) -> List[Zone]:
+        """Allocation order of zones for an owner kind.
+
+        Kernel memory is confined to ZONE_NORMAL.  User memory prefers
+        ZONE_MOVABLE.  Pinned allocations also prefer ZONE_MOVABLE — that
+        is precisely the leak (Section 5.2) that puts unmovable pages into
+        nominally movable blocks.
+        """
+        normal = [z for z in self.zones if z.kind is ZoneKind.NORMAL]
+        movable = [z for z in self.zones if z.kind is ZoneKind.MOVABLE]
+        if kind is OwnerKind.KERNEL:
+            return normal
+        return movable + normal
+
+    # --- allocation / freeing -------------------------------------------------
+
+    def allocate(self, owner_id: str, n_pages: int,
+                 kind: OwnerKind = OwnerKind.USER,
+                 mergeable: bool = False) -> List[PageExtent]:
+        """Allocate *n_pages* for *owner_id* as a list of extents.
+
+        All-or-nothing across zones; raises :class:`AllocationError` when
+        the online free memory cannot satisfy the request.
+        """
+        if n_pages <= 0:
+            raise AllocationError("n_pages must be positive")
+        plan: List[Tuple[Zone, List[Tuple[int, int]]]] = []
+        remaining = n_pages
+        for zone in self._zones_for(kind):
+            if remaining == 0:
+                break
+            take = min(remaining, zone.allocator.free_pages)
+            if take <= 0:
+                continue
+            blocks = zone.allocator.alloc_pages(take)
+            plan.append((zone, blocks))
+            remaining -= take
+        if remaining > 0:
+            for zone, blocks in plan:
+                for pfn, order in blocks:
+                    zone.allocator.free_block(pfn, order)
+            raise AllocationError(
+                f"cannot allocate {n_pages} pages for {owner_id!r}: "
+                f"{remaining} short")
+        extents = []
+        for _zone, blocks in plan:
+            for pfn, order in blocks:
+                extent = PageExtent(pfn=pfn, order=order, owner_id=owner_id,
+                                    kind=kind, mergeable=mergeable)
+                self._register(extent)
+                extents.append(extent)
+        return extents
+
+    def _register(self, extent: PageExtent) -> None:
+        self._extents[extent.pfn] = extent
+        self._owners.setdefault(extent.owner_id, set()).add(extent.pfn)
+        acct = self._blocks[extent.pfn // self.block_pages]
+        acct.used_pages += extent.pages
+        acct.extents.add(extent.pfn)
+        if not extent.movable:
+            acct.unmovable_pages += extent.pages
+
+    def _unregister(self, extent: PageExtent) -> None:
+        del self._extents[extent.pfn]
+        owner_set = self._owners[extent.owner_id]
+        owner_set.remove(extent.pfn)
+        if not owner_set:
+            del self._owners[extent.owner_id]
+        acct = self._blocks[extent.pfn // self.block_pages]
+        acct.used_pages -= extent.pages
+        acct.extents.remove(extent.pfn)
+        if not extent.movable:
+            acct.unmovable_pages -= extent.pages
+
+    def _zone_of(self, pfn: int) -> Zone:
+        for zone in self.zones:
+            if zone.contains(pfn):
+                return zone
+        raise AllocationError(f"pfn {pfn} outside all zones")
+
+    def free_extent(self, pfn: int) -> int:
+        """Free one extent by its first pfn; returns pages freed."""
+        extent = self._extents.get(pfn)
+        if extent is None:
+            raise AllocationError(f"no extent at pfn {pfn}")
+        self._unregister(extent)
+        self._zone_of(pfn).allocator.free_block(pfn, extent.order)
+        return extent.pages
+
+    def free_pages_of(self, owner_id: str, n_pages: int) -> int:
+        """Free *n_pages* of *owner_id*'s memory, highest addresses first.
+
+        Splits the final extent when needed so exactly *n_pages* (or the
+        owner's entire holding, if smaller) are returned.  Freeing highest
+        addresses first models a process unmapping its most recently grown
+        regions and keeps high blocks empty — which is what gives the
+        GreenDIMM daemon blocks it can off-line without migration.
+        """
+        if n_pages <= 0:
+            return 0
+        pfns = sorted(self._owners.get(owner_id, ()), reverse=True)
+        freed = 0
+        for pfn in pfns:
+            if freed >= n_pages:
+                break
+            extent = self._extents[pfn]
+            if freed + extent.pages <= n_pages:
+                freed += self.free_extent(pfn)
+            else:
+                freed += self._free_partial(extent, n_pages - freed)
+        return freed
+
+    def _free_partial(self, extent: PageExtent, n_pages: int) -> int:
+        """Free the top *n_pages* of one extent by splitting it.
+
+        Caller guarantees ``0 < n_pages < extent.pages``; the loop keeps
+        the invariant ``remaining < current.pages``, so it always
+        terminates with a kept low remainder registered to the owner.
+        """
+        from dataclasses import replace
+
+        zone = self._zone_of(extent.pfn)
+        self._unregister(extent)
+        current = extent
+        remaining = n_pages
+        while remaining > 0:
+            zone.allocator.split_allocated(current.pfn, current.order)
+            half_order = current.order - 1
+            half_pages = 1 << half_order
+            low = replace(current, order=half_order)
+            high = replace(current, pfn=current.pfn + half_pages,
+                           order=half_order)
+            if remaining >= half_pages:
+                zone.allocator.free_block(high.pfn, half_order)
+                remaining -= half_pages
+                current = low
+            else:
+                self._register(low)
+                current = high
+        self._register(current)
+        return n_pages
+
+    def free_all(self, owner_id: str) -> int:
+        """Free every extent of *owner_id*; returns pages freed."""
+        freed = 0
+        for pfn in list(self._owners.get(owner_id, ())):
+            freed += self.free_extent(pfn)
+        return freed
+
+    # --- queries -----------------------------------------------------------
+
+    @property
+    def free_pages(self) -> int:
+        return sum(z.allocator.free_pages for z in self.zones)
+
+    @property
+    def online_pages(self) -> int:
+        return self.total_pages - self._offlined_pages
+
+    @property
+    def used_pages(self) -> int:
+        return self.online_pages - self.free_pages
+
+    def owner_pages(self, owner_id: str) -> int:
+        return sum(self._extents[p].pages for p in self._owners.get(owner_id, ()))
+
+    def owners(self) -> Iterable[str]:
+        return self._owners.keys()
+
+    def extents_of(self, owner_id: str) -> List[PageExtent]:
+        return [self._extents[p] for p in sorted(self._owners.get(owner_id, ()))]
+
+    def meminfo(self) -> Meminfo:
+        return Meminfo(total_pages=self.online_pages,
+                       free_pages=self.free_pages,
+                       used_pages=self.used_pages,
+                       offlined_pages=self._offlined_pages)
+
+    # --- per-block interface used by hot-plug --------------------------------
+
+    def block_range(self, index: int) -> Tuple[int, int]:
+        """(start_pfn, page_count) of memory block *index*."""
+        if not 0 <= index < self.num_blocks:
+            raise ConfigurationError(f"block {index} out of range")
+        return index * self.block_pages, self.block_pages
+
+    def block_accounting(self, index: int) -> BlockAccounting:
+        return self._blocks[index]
+
+    def block_is_removable(self, index: int) -> bool:
+        """The sysfs ``removable`` flag: no unmovable pages in the block."""
+        return not self._blocks[index].has_unmovable
+
+    def block_is_free(self, index: int) -> bool:
+        """True when no allocated pages remain in the block."""
+        return self._blocks[index].is_empty
+
+    def block_extents(self, index: int) -> List[PageExtent]:
+        return [self._extents[p] for p in sorted(self._blocks[index].extents)]
+
+    def zone_kind_of_block(self, index: int) -> ZoneKind:
+        start, _count = self.block_range(index)
+        return self._zone_of(start).kind
+
+    # --- migration (for off-lining) -------------------------------------------
+
+    def migrate_block_out(self, index: int,
+                          isolated: List[Tuple[int, int]]) -> int:
+        """Move every movable extent out of block *index*.
+
+        The block's free pages must already be isolated so new allocations
+        cannot land there; *isolated* is the running list of (pfn, order)
+        blocks held out of the free lists, and each migrated source extent
+        is appended to it (migrated-away frames are free but must stay
+        isolated).  Returns pages migrated; raises
+        :class:`AllocationError` when destination memory is insufficient
+        (the off-lining EAGAIN path) — the caller then undoes the whole
+        isolation with the accumulated list.
+        """
+        migrated = 0
+        source_zone = self._zone_of(self.block_range(index)[0])
+        for extent in self.block_extents(index):
+            if not extent.movable:
+                raise AllocationError(
+                    f"block {index} has unmovable extent at {extent.pfn}")
+            new_blocks = None
+            for zone in self._zones_for(extent.kind):
+                try:
+                    new_blocks = zone.allocator.alloc_pages(extent.pages)
+                    break
+                except AllocationError:
+                    continue
+            if new_blocks is None:
+                raise AllocationError(
+                    f"no destination frames to migrate block {index}")
+            self._unregister(extent)
+            source_zone.allocator.remove_allocated(extent.pfn, extent.order)
+            isolated.append((extent.pfn, extent.order))
+            for pfn, order in new_blocks:
+                moved = PageExtent(pfn=pfn, order=order,
+                                   owner_id=extent.owner_id, kind=extent.kind,
+                                   mergeable=extent.mergeable,
+                                   ksm_shared=extent.ksm_shared)
+                self._register(moved)
+            migrated += extent.pages
+        return migrated
+
+    # --- offline bookkeeping (driven by MemoryBlockManager) -------------------
+
+    def isolate_block(self, index: int) -> List[Tuple[int, int]]:
+        start, count = self.block_range(index)
+        removed = self._zone_of(start).allocator.isolate_range(start, count)
+        self._isolated_blocks.add(index)
+        return removed
+
+    def undo_isolate_block(self, index: int,
+                           removed: List[Tuple[int, int]]) -> None:
+        start, _count = self.block_range(index)
+        self._zone_of(start).allocator.undo_isolation(removed)
+        self._isolated_blocks.discard(index)
+
+    def complete_offline(self, index: int) -> None:
+        """Finalize: the block's pages leave the online total entirely."""
+        if index not in self._isolated_blocks:
+            raise AllocationError(f"block {index} was not isolated")
+        if not self.block_is_free(index):
+            raise AllocationError(f"block {index} still has used pages")
+        self._isolated_blocks.remove(index)
+        self._offlined_pages += self.block_pages
+
+    def complete_online(self, index: int) -> None:
+        """Give an off-lined block's frames back to its zone's allocator."""
+        start, count = self.block_range(index)
+        self._zone_of(start).allocator.add_range(start, count)
+        self._offlined_pages -= self.block_pages

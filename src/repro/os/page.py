@@ -1,0 +1,77 @@
+"""Page-extent metadata — the substrate's ``mem_map``.
+
+Real kernels keep a ``struct page`` per frame; simulating tens of millions
+of those in Python would drown the experiments, so the substrate tracks
+*extents*: each buddy allocation (pfn, order) carries one metadata record.
+Buddy alignment guarantees an extent never straddles a memory block, so
+per-block accounting (used/unmovable page counts, the ``removable`` flag)
+stays exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class OwnerKind(enum.Enum):
+    """What kind of entity owns an extent — determines movability."""
+
+    #: Userspace process / VM memory: movable via page migration.
+    USER = "user"
+    #: Kernel allocations (slab, page tables, DMA buffers): unmovable.
+    KERNEL = "kernel"
+    #: User pages pinned for I/O or device access: temporarily unmovable.
+    PINNED = "pinned"
+
+
+@dataclass(frozen=True)
+class PageExtent:
+    """A contiguous run of 2**order frames with uniform ownership.
+
+    ``mergeable`` marks pages an application advised as KSM candidates via
+    ``madvise(MADV_MERGEABLE)``; ``ksm_shared`` marks extents whose content
+    is currently deduplicated into a stable-tree page (freed capacity is
+    accounted by the KSM substrate, not here).
+    """
+
+    pfn: int
+    order: int
+    owner_id: str
+    kind: OwnerKind = OwnerKind.USER
+    mergeable: bool = False
+    ksm_shared: bool = False
+
+    @property
+    def pages(self) -> int:
+        return 1 << self.order
+
+    @property
+    def end_pfn(self) -> int:
+        return self.pfn + self.pages
+
+    @property
+    def movable(self) -> bool:
+        """Whether page migration can relocate this extent."""
+        return self.kind is OwnerKind.USER
+
+    def moved_to(self, new_pfn: int) -> "PageExtent":
+        """The same extent relocated to *new_pfn* (after migration)."""
+        return replace(self, pfn=new_pfn)
+
+
+@dataclass
+class BlockAccounting:
+    """Per-memory-block usage counters maintained by the memory manager."""
+
+    used_pages: int = 0
+    unmovable_pages: int = 0
+    extents: "set[int]" = field(default_factory=set)  # extent pfns in block
+
+    @property
+    def has_unmovable(self) -> bool:
+        return self.unmovable_pages > 0
+
+    @property
+    def is_empty(self) -> bool:
+        return self.used_pages == 0

@@ -1,0 +1,81 @@
+"""Memory zones: Normal vs Movable.
+
+Linux lets the administrator reserve a tail of physical memory as
+``ZONE_MOVABLE`` (e.g. ``movablecore=8G``); kernel/unmovable allocations
+are confined to ``ZONE_NORMAL`` while user pages prefer the movable zone.
+GreenDIMM relies on this (Section 5.2) because only fully-movable blocks
+can be off-lined — but, as the paper observes, pinned pages can still leak
+unmovable frames into movable regions, which our hot-plug model reproduces.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.os.buddy import MAX_ORDER, BuddyAllocator
+
+
+class ZoneKind(enum.Enum):
+    NORMAL = "normal"
+    MOVABLE = "movable"
+
+
+@dataclass
+class Zone:
+    """One zone: a frame range with its own buddy allocator."""
+
+    kind: ZoneKind
+    start_pfn: int
+    pages: int
+
+    def __post_init__(self) -> None:
+        self.allocator = BuddyAllocator(self.start_pfn, self.pages)
+
+    @property
+    def end_pfn(self) -> int:
+        return self.start_pfn + self.pages
+
+    def contains(self, pfn: int) -> bool:
+        return self.start_pfn <= pfn < self.end_pfn
+
+
+@dataclass(frozen=True)
+class ZoneLayout:
+    """How the physical frame space is split between zones.
+
+    ``movable_fraction`` plays the role of the ``movablecore`` boot
+    parameter: that fraction of the top of memory becomes ZONE_MOVABLE.
+    ``alignment_pages`` rounds the boundary so it coincides with a
+    memory-block edge — a hot-plug block must belong to exactly one
+    zone, as in Linux.
+    """
+
+    total_pages: int
+    movable_fraction: float = 0.75
+    alignment_pages: int = 1 << MAX_ORDER
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.movable_fraction < 1.0:
+            raise ConfigurationError("movable_fraction must be in [0, 1)")
+        if self.total_pages <= 0:
+            raise ConfigurationError("total_pages must be positive")
+        if (self.alignment_pages <= 0
+                or self.alignment_pages % (1 << MAX_ORDER)):
+            raise ConfigurationError(
+                "alignment must be a positive multiple of the buddy block")
+
+    def build(self) -> List[Zone]:
+        """Construct the zones, aligned to blocks and buddy limits."""
+        block = self.alignment_pages
+        if self.total_pages % block:
+            raise ConfigurationError("total pages must be block aligned")
+        movable_pages = int(self.total_pages * self.movable_fraction)
+        movable_pages -= movable_pages % block
+        normal_pages = self.total_pages - movable_pages
+        zones = [Zone(ZoneKind.NORMAL, 0, normal_pages)]
+        if movable_pages:
+            zones.append(Zone(ZoneKind.MOVABLE, normal_pages, movable_pages))
+        return zones

@@ -1,0 +1,126 @@
+"""IDD current tables and access energies per DRAM device type.
+
+The numbers follow the structure of DDR4 datasheet IDD/IPP registers and
+are calibrated (see ``tests/test_power_calibration.py``) so that the full
+model reproduces the paper's measured operating points:
+
+* 64GB of 4Gb x8 DIMMs: ~9W busy, ~44% background (Fig. 2 / Sec. 3.2);
+* 256GB of 8Gb x4 DIMMs: ~18W idle, ~26W busy (Fig. 2);
+* 1TB of 8Gb x8 DIMMs: ~91W busy, ~78% background (Sec. 3.2).
+
+They are not meant to match any specific vendor part; the *structure*
+(background set by state, refresh by tRFC/tREFI, dynamic by access rate)
+is what carries the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dram.device import DRAMDeviceConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IDDValues:
+    """Background/refresh currents of one device, in amperes at ``vdd``.
+
+    Attributes mirror the JEDEC register names:
+
+    * ``idd3n`` — active standby (a row open somewhere in the device);
+    * ``idd2n`` — precharge standby (all rows closed);
+    * ``idd2p`` — power-down (CKE low);
+    * ``idd6``  — self-refresh (includes the internal refresh current);
+    * ``idd5b`` — burst-refresh current while a REF command executes;
+    * ``idd0``  — one-bank activate-precharge cycling.
+    """
+
+    vdd: float
+    idd0: float
+    idd2n: float
+    idd2p: float
+    idd3n: float
+    idd4r: float
+    idd4w: float
+    idd5b: float
+    idd6: float
+
+    def __post_init__(self) -> None:
+        if not self.idd2p < self.idd2n <= self.idd3n:
+            raise ConfigurationError("expect idd2p < idd2n <= idd3n")
+        if self.idd6 >= self.idd2n:
+            raise ConfigurationError("self-refresh must draw less than standby")
+
+
+@dataclass(frozen=True)
+class AccessEnergies:
+    """Dynamic energy per event, for one *rank* access (all devices).
+
+    * ``act_j`` — one activate+precharge pair across the rank;
+    * ``rw_j`` — one 64-byte read or write burst, array+datapath;
+    * ``io_j`` — one 64-byte burst's I/O driver + termination energy
+      (a per-channel cost, independent of the rank's device count).
+    """
+
+    act_j: float
+    rw_j: float
+    io_j: float
+
+    def energy_per_access_j(self, row_miss_rate: float) -> float:
+        """Average energy of one 64B access given the row-miss rate."""
+        if not 0.0 <= row_miss_rate <= 1.0:
+            raise ConfigurationError("row_miss_rate must be in [0, 1]")
+        return self.rw_j + self.io_j + row_miss_rate * self.act_j
+
+
+#: Residual power of a deep-power-down sub-array, as a fraction of its
+#: normal share of background power (leakage through the power gates).
+#: "Practically eliminates" (Sec. 4.3) -> a few percent survives.
+DPD_RESIDUAL_FRACTION = 0.03
+
+#: Fraction of rows held in separate always-on repair arrays (Sec. 6.1:
+#: spare rows occupy <2% of rows and are never gated).
+SPARE_ROW_FRACTION = 0.02
+
+
+def _idd_for(device: DRAMDeviceConfig) -> IDDValues:
+    """Background-current table keyed by device density and width."""
+    density_gb = device.density_bits / (1 << 30)
+    if device.width == 8 and density_gb == 4:
+        return IDDValues(vdd=1.2, idd0=0.046, idd2n=0.0225, idd2p=0.011,
+                         idd3n=0.030, idd4r=0.140, idd4w=0.130,
+                         idd5b=0.190, idd6=0.0030)
+    if device.width == 4 and density_gb == 8:
+        return IDDValues(vdd=1.2, idd0=0.052, idd2n=0.0450, idd2p=0.020,
+                         idd3n=0.056, idd4r=0.110, idd4w=0.100,
+                         idd5b=0.280, idd6=0.0052)
+    if device.width == 8 and density_gb == 8:
+        return IDDValues(vdd=1.2, idd0=0.055, idd2n=0.0450, idd2p=0.020,
+                         idd3n=0.058, idd4r=0.150, idd4w=0.140,
+                         idd5b=0.285, idd6=0.0052)
+    # Generic fallback: scale the 4Gb x8 part by density.
+    scale = density_gb / 4.0
+    return IDDValues(vdd=1.2, idd0=0.046 * scale, idd2n=0.0225 * scale,
+                     idd2p=0.011 * scale, idd3n=0.030 * scale,
+                     idd4r=0.140, idd4w=0.130, idd5b=0.190 * scale,
+                     idd6=0.0030 * scale)
+
+
+def _energies_for(device: DRAMDeviceConfig) -> AccessEnergies:
+    """Per-rank access energies; array energy scales with devices/rank."""
+    devices_per_rank = 64 // device.width
+    return AccessEnergies(
+        act_j=1.6e-9 * devices_per_rank,
+        rw_j=1.0e-9 * devices_per_rank,
+        io_j=6.0e-9,
+    )
+
+
+def device_power_table(device: DRAMDeviceConfig) -> Dict[str, object]:
+    """Return the (IDD, energies) pair for *device*.
+
+    Exposed as a dict so experiment logs can dump the exact constants a
+    run used.
+    """
+    return {"idd": _idd_for(device), "energies": _energies_for(device)}

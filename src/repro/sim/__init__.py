@@ -1,0 +1,48 @@
+"""Simulation layer: performance model, epoch server simulator, experiments.
+
+Two granularities cooperate:
+
+* the cycle-approximate :mod:`repro.memctrl` controller covers
+  microsecond-scale questions (low-power residency, wake-up penalties);
+* the epoch simulator here covers the seconds-to-hours dynamics the
+  GreenDIMM daemon lives in (footprint changes, on/off-lining, KSM).
+
+The analytic performance model bridges them: it converts memory-system
+operating points and daemon activity into execution-time factors.
+"""
+
+from repro.sim.perfmodel import (
+    MemorySystemPoint,
+    PerformanceModel,
+    interleaved_point,
+    non_interleaved_point,
+)
+from repro.sim.server import (
+    EpochSample,
+    MixRunResult,
+    ServerSimulator,
+    VMTraceRunResult,
+    WorkloadRunResult,
+)
+from repro.sim.experiment import (
+    PolicyResult,
+    evaluate_policies,
+    normalized,
+    POLICIES,
+)
+
+__all__ = [
+    "MemorySystemPoint",
+    "PerformanceModel",
+    "interleaved_point",
+    "non_interleaved_point",
+    "ServerSimulator",
+    "WorkloadRunResult",
+    "MixRunResult",
+    "VMTraceRunResult",
+    "EpochSample",
+    "PolicyResult",
+    "evaluate_policies",
+    "normalized",
+    "POLICIES",
+]

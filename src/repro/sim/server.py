@@ -1,0 +1,476 @@
+"""Epoch-granularity server simulation.
+
+Drives a :class:`repro.core.GreenDIMMSystem` with either a single
+workload profile (SPEC / data-center runs) or an Azure-like VM trace,
+advancing the OS, KSM, and GreenDIMM daemon once per epoch and
+integrating DRAM/system energy as it goes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.system import GreenDIMMSystem
+from repro.errors import AllocationError, ConfigurationError
+from repro.os.hotplug import HotplugStats
+from repro.os.page import OwnerKind
+from repro.os.swap import SwapSpace
+from repro.power.system import SystemPowerModel
+from repro.sim.perfmodel import PerformanceModel
+from repro.units import PAGE_SIZE
+from repro.workloads.azure import AzureTrace
+from repro.workloads.profiles import WorkloadProfile
+from repro.ksm.content import RegionContent
+
+
+@dataclass(frozen=True)
+class EpochSample:
+    """One epoch's observables."""
+
+    time_s: float
+    used_pages: int
+    free_pages: int
+    offline_blocks: int
+    dpd_fraction: float
+    dram_power_w: float
+
+
+@dataclass
+class WorkloadRunResult:
+    """Outcome of one profile run under GreenDIMM."""
+
+    profile_name: str
+    elapsed_s: float
+    samples: List[EpochSample]
+    offline_events: int
+    online_events: int
+    ebusy_failures: int
+    eagain_failures: int
+    offlined_bytes_total: int
+    dram_energy_j: float
+    baseline_dram_energy_j: float
+    overhead_fraction: float
+    swap_shortfall_pages: int
+
+    @property
+    def runtime_s(self) -> float:
+        """Wall time including GreenDIMM's interference."""
+        return self.elapsed_s * (1.0 + self.overhead_fraction)
+
+    @property
+    def mean_offline_blocks(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.offline_blocks for s in self.samples) / len(self.samples)
+
+    def mean_offlined_bytes(self, block_bytes: int) -> float:
+        """Mean off-lined capacity over the run (Figure 6's metric)."""
+        return self.mean_offline_blocks * block_bytes
+
+    @property
+    def dram_energy_saving(self) -> float:
+        if self.baseline_dram_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.dram_energy_j / self.baseline_dram_energy_j
+
+
+@dataclass
+class VMTraceRunResult:
+    """Outcome of an Azure-trace replay (Figures 1, 12, 13)."""
+
+    samples: List[EpochSample]
+    total_blocks: int
+    dram_energy_j: float
+    baseline_dram_energy_j: float
+    ksm_saved_pages_final: int
+    emergency_onlines: int
+
+    @property
+    def mean_offline_blocks(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.offline_blocks for s in self.samples) / len(self.samples)
+
+    @property
+    def max_offline_blocks(self) -> int:
+        return max((s.offline_blocks for s in self.samples), default=0)
+
+    @property
+    def min_offline_blocks(self) -> int:
+        return min((s.offline_blocks for s in self.samples), default=0)
+
+    @property
+    def mean_dpd_fraction(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.dpd_fraction for s in self.samples) / len(self.samples)
+
+    @property
+    def background_power_reduction(self) -> float:
+        """Mean background-power reduction vs an ungated baseline."""
+        return self.mean_dpd_fraction * 0.97 * 0.98  # residual + spare rows
+
+    @property
+    def dram_energy_saving(self) -> float:
+        if self.baseline_dram_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.dram_energy_j / self.baseline_dram_energy_j
+
+
+@dataclass
+class MixRunResult:
+    """Outcome of a co-located multi-workload run."""
+
+    profile_names: List[str]
+    elapsed_s: float
+    samples: List[EpochSample]
+    offline_events: int
+    online_events: int
+    dram_energy_j: float
+    baseline_dram_energy_j: float
+    overhead_by_profile: "dict[str, float]"
+    swap_stall_s: float
+
+    @property
+    def dram_energy_saving(self) -> float:
+        if self.baseline_dram_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.dram_energy_j / self.baseline_dram_energy_j
+
+    @property
+    def worst_overhead(self) -> float:
+        return max(self.overhead_by_profile.values(), default=0.0)
+
+
+@dataclass
+class _PinnedExtent:
+    owner_seq: int
+    expires_s: float
+
+
+class ServerSimulator:
+    """Runs workloads/traces against one GreenDIMM-managed server."""
+
+    def __init__(self, system: GreenDIMMSystem,
+                 perf: Optional[PerformanceModel] = None,
+                 system_power: Optional[SystemPowerModel] = None,
+                 swap: Optional[SwapSpace] = None,
+                 pinned_churn_rate_per_s: float = 0.3,
+                 pinned_lifetime_s: float = 45.0,
+                 seed: int = 5):
+        self.system = system
+        self.perf = perf or PerformanceModel()
+        self.system_power = system_power or SystemPowerModel()
+        self.swap = swap or SwapSpace()
+        self.pinned_churn_rate_per_s = pinned_churn_rate_per_s
+        self.pinned_lifetime_s = pinned_lifetime_s
+        self.rng = random.Random(seed)
+        self._pinned: List[_PinnedExtent] = []
+        self._pin_seq = 0
+
+    # --- shared plumbing ------------------------------------------------------
+
+    def _resize_owner(self, owner: str, target_pages: int, now_s: float,
+                      mergeable: bool = False, emergency: bool = False) -> int:
+        """Grow/shrink *owner* to *target_pages* resident pages.
+
+        Growth beyond what the free reserve can absorb spills to swap —
+        the kernel cannot wait for GreenDIMM's next monitoring pass, which
+        is exactly why reserves below ~10% thrash (Section 4.2).  With
+        *emergency* set (hypervisor-coordinated VM placement) the daemon
+        is asked to on-line blocks synchronously instead.  Shrinking
+        drops swap slots first (those pages are dead copies) and frees
+        resident memory for the rest.  Returns pages pushed to swap.
+        """
+        mm = self.system.mm
+        total = mm.owner_pages(owner) + self.swap.held_for(owner)
+        if target_pages > total:
+            # The footprint is resident + swapped; only the delta beyond
+            # both is new memory.  Swapped pages fault back in when room
+            # exists.
+            self._try_swap_in(owner)
+            need = target_pages - total
+            attempts = 2 if emergency else 1
+            for _attempt in range(attempts):
+                try:
+                    mm.allocate(owner, need, mergeable=mergeable)
+                    return 0
+                except AllocationError:
+                    if not emergency:
+                        break
+                    if not self.system.daemon.emergency_online(need, now_s):
+                        break
+            available = max(0, mm.free_pages - 16)
+            if available > 0:
+                take = min(need, available)
+                mm.allocate(owner, take, mergeable=mergeable)
+                need -= take
+            if need > 0:
+                self.swap.swap_out(owner, need)
+            return need
+        if target_pages < total:
+            surplus = total - target_pages
+            dropped = self.swap.drop(owner, surplus)
+            remaining = surplus - dropped
+            if remaining > 0:
+                mm.free_pages_of(owner, remaining)
+        else:
+            self._try_swap_in(owner)
+        return 0
+
+    def _try_swap_in(self, owner: str) -> None:
+        """Fault this owner's swapped pages back in while room exists.
+
+        Recovery is bounded by free memory: the daemon's monitor, not
+        this fault path, is what brings off-lined blocks back.
+        """
+        held = self.swap.held_for(owner)
+        if not held:
+            return
+        mm = self.system.mm
+        take = min(held, max(0, mm.free_pages - 2048))
+        if take <= 0:
+            return
+        try:
+            mm.allocate(owner, take)
+        except AllocationError:
+            return
+        self.swap.swap_in(owner, take)
+
+    def _pinned_churn(self, now_s: float, dt_s: float) -> None:
+        """Short-lived pinned allocations that leak unmovable pages into
+        movable blocks — the EBUSY source of Section 5.2."""
+        for pin in list(self._pinned):
+            if pin.expires_s <= now_s:
+                self.system.mm.free_all(f"pin{pin.owner_seq}")
+                self._pinned.remove(pin)
+        expected = self.pinned_churn_rate_per_s * dt_s
+        count = int(expected)
+        if self.rng.random() < expected - count:
+            count += 1
+        for _ in range(count):
+            self._pin_seq += 1
+            pages = self.rng.choice((4, 8, 16, 32))
+            # Most transient kernel allocations stay in ZONE_NORMAL; a
+            # minority are user pages pinned in place, which is the leak
+            # that contaminates movable blocks (Section 5.2).
+            kind = (OwnerKind.PINNED if self.rng.random() < 0.25
+                    else OwnerKind.KERNEL)
+            try:
+                self.system.mm.allocate(
+                    f"pin{self._pin_seq}", pages, kind=kind)
+            except AllocationError:
+                continue
+            self._pinned.append(_PinnedExtent(
+                owner_seq=self._pin_seq,
+                expires_s=now_s + self.rng.expovariate(1.0 / self.pinned_lifetime_s)))
+
+    def _sample(self, now_s: float, bandwidth: float,
+                row_miss_rate: float) -> EpochSample:
+        info = self.system.mm.meminfo()
+        power = self.system.dram_power(
+            bandwidth_bytes_per_s=bandwidth,
+            active_residency=min(1.0, bandwidth / 20e9),
+            row_miss_rate=row_miss_rate)
+        return EpochSample(time_s=now_s,
+                           used_pages=info.used_pages,
+                           free_pages=info.free_pages,
+                           offline_blocks=self.system.daemon.offline_block_count,
+                           dpd_fraction=self.system.daemon.dpd_fraction(),
+                           dram_power_w=power.total_w)
+
+    def _reset_stats(self) -> None:
+        from repro.core.daemon import DaemonStats
+
+        self.system.daemon.stats = DaemonStats()
+        self.system.hotplug.stats = HotplugStats()
+
+    # --- single-profile runs (SPEC / data-center) -----------------------------
+
+    def run_workload(self, profile: WorkloadProfile, n_copies: int = 1,
+                     warmup_s: float = 30.0, epoch_s: float = 1.0,
+                     pinned_churn: bool = True) -> WorkloadRunResult:
+        """Run *n_copies* of *profile* to completion under GreenDIMM."""
+        if epoch_s <= 0:
+            raise ConfigurationError("epoch must be positive")
+        owner = "app"
+        bandwidth = profile.bandwidth_demand_bytes_per_s * n_copies
+        row_miss = 1.0 - profile.row_hit_rate
+
+        # Warm up: reach the initial footprint and let the daemon settle.
+        initial = profile.footprint.at(0.0) * n_copies // PAGE_SIZE
+        if initial:
+            self._resize_owner(owner, initial, 0.0)
+        t = -warmup_s
+        while t < 0:
+            self.system.step(t, epoch_s)
+            t += epoch_s
+        self._reset_stats()
+        swap_stall_before = self.swap.stats.stall_s
+
+        samples: List[EpochSample] = []
+        dram_energy = 0.0
+        baseline_energy = 0.0
+        shortfall = 0
+        t = 0.0
+        while t < profile.duration_s:
+            target = profile.footprint.at(t) * n_copies // PAGE_SIZE
+            shortfall += self._resize_owner(owner, target, t)
+            if pinned_churn:
+                self._pinned_churn(t, epoch_s)
+            self.system.step(t, epoch_s)
+            sample = self._sample(t, bandwidth, row_miss)
+            samples.append(sample)
+            dram_energy += sample.dram_power_w * epoch_s
+            baseline_energy += self.system.baseline_dram_power(
+                bandwidth_bytes_per_s=bandwidth,
+                active_residency=min(1.0, bandwidth / 20e9),
+                row_miss_rate=row_miss).total_w * epoch_s
+            t += epoch_s
+
+        stats = self.system.daemon.stats
+        overhead = self.perf.greendimm_overhead_fraction(
+            profile, stats.offline_events, stats.online_events,
+            profile.duration_s)
+        swap_stall = self.swap.stats.stall_s - swap_stall_before
+        overhead += swap_stall / profile.duration_s
+        return WorkloadRunResult(
+            profile_name=profile.name,
+            elapsed_s=profile.duration_s,
+            samples=samples,
+            offline_events=stats.offline_events,
+            online_events=stats.online_events,
+            ebusy_failures=stats.ebusy_failures,
+            eagain_failures=stats.eagain_failures,
+            offlined_bytes_total=stats.offlined_bytes_total,
+            dram_energy_j=dram_energy * (1.0 + overhead),
+            baseline_dram_energy_j=baseline_energy * (1.0 + overhead),
+            overhead_fraction=overhead,
+            swap_shortfall_pages=shortfall)
+
+    # --- VM-trace runs (Figures 1, 12, 13) --------------------------------------
+
+    def run_vm_trace(self, trace: AzureTrace, epoch_s: float = 5.0,
+                     mean_vm_bandwidth_bytes_per_s: float = 0.4e9,
+                     ) -> VMTraceRunResult:
+        """Replay an Azure-like trace against the system."""
+        if epoch_s <= 0:
+            raise ConfigurationError("epoch must be positive")
+        events = sorted(trace.events, key=lambda e: e.time_s)
+        cursor = 0
+        running = 0
+        samples: List[EpochSample] = []
+        dram_energy = 0.0
+        baseline_energy = 0.0
+        duration = max((e.time_s for e in events), default=0.0) + 300.0
+        ksm = self.system.ksm
+        t = 0.0
+        while t < duration:
+            while cursor < len(events) and events[cursor].time_s <= t:
+                event = events[cursor]
+                cursor += 1
+                vm = event.instance
+                if event.kind == "arrive":
+                    pages = vm.vm_type.memory_bytes // PAGE_SIZE
+                    self._resize_owner(vm.owner_id, pages, t, mergeable=True,
+                                       emergency=True)
+                    running += 1
+                    if ksm is not None:
+                        ksm.register(RegionContent(
+                            owner_id=vm.owner_id, total_pages=pages,
+                            image_id=vm.vm_type.image_id))
+                else:
+                    if ksm is not None:
+                        ksm.unregister(vm.owner_id)
+                    self.system.mm.free_all(vm.owner_id)
+                    self.swap.release(vm.owner_id)
+                    running = max(0, running - 1)
+            self._pinned_churn(t, epoch_s)
+            self.system.step(t, epoch_s)
+            bandwidth = running * mean_vm_bandwidth_bytes_per_s
+            sample = self._sample(t, bandwidth, row_miss_rate=0.5)
+            samples.append(sample)
+            dram_energy += sample.dram_power_w * epoch_s
+            baseline_energy += self.system.baseline_dram_power(
+                bandwidth_bytes_per_s=bandwidth,
+                active_residency=min(1.0, bandwidth / 20e9)).total_w * epoch_s
+            t += epoch_s
+
+        return VMTraceRunResult(
+            samples=samples,
+            total_blocks=self.system.mm.num_blocks,
+            dram_energy_j=dram_energy,
+            baseline_dram_energy_j=baseline_energy,
+            ksm_saved_pages_final=(ksm.total_saved_pages if ksm else 0),
+            emergency_onlines=self.system.daemon.stats.emergency_onlines)
+
+    def run_mix(self, profiles: List[WorkloadProfile],
+                warmup_s: float = 30.0, epoch_s: float = 1.0,
+                pinned_churn: bool = True) -> "MixRunResult":
+        """Run several workloads concurrently on one server.
+
+        Models the paper's consolidated setting: every profile's footprint
+        coexists in the same physical memory, their bandwidths add, and the
+        daemon serves the union of their dynamics.  Per-profile overhead is
+        estimated from the shared event rate weighted by each workload's
+        memory sensitivity (they all suffer the same lock/TLB interference).
+        """
+        if not profiles:
+            raise ConfigurationError("need at least one profile")
+        duration = max(p.duration_s for p in profiles)
+        owners = {f"mix{i}-{p.name}": p for i, p in enumerate(profiles)}
+        bandwidth = sum(p.bandwidth_demand_bytes_per_s for p in profiles)
+        row_miss = (sum((1.0 - p.row_hit_rate)
+                        * p.bandwidth_demand_bytes_per_s for p in profiles)
+                    / max(bandwidth, 1.0))
+
+        for owner, profile in owners.items():
+            initial = profile.footprint.at(0.0) // PAGE_SIZE
+            if initial:
+                self._resize_owner(owner, initial, 0.0)
+        t = -warmup_s
+        while t < 0:
+            self.system.step(t, epoch_s)
+            t += epoch_s
+        self._reset_stats()
+        swap_stall_before = self.swap.stats.stall_s
+
+        samples: List[EpochSample] = []
+        dram_energy = 0.0
+        baseline_energy = 0.0
+        t = 0.0
+        while t < duration:
+            for owner, profile in owners.items():
+                target = profile.footprint.at(min(t, profile.duration_s))
+                self._resize_owner(owner, target // PAGE_SIZE, t)
+            if pinned_churn:
+                self._pinned_churn(t, epoch_s)
+            self.system.step(t, epoch_s)
+            sample = self._sample(t, bandwidth, row_miss)
+            samples.append(sample)
+            dram_energy += sample.dram_power_w * epoch_s
+            baseline_energy += self.system.baseline_dram_power(
+                bandwidth_bytes_per_s=bandwidth,
+                active_residency=min(1.0, bandwidth / 20e9),
+                row_miss_rate=row_miss).total_w * epoch_s
+            t += epoch_s
+
+        stats = self.system.daemon.stats
+        swap_stall = self.swap.stats.stall_s - swap_stall_before
+        overheads = {}
+        for profile in profiles:
+            overhead = self.perf.greendimm_overhead_fraction(
+                profile, stats.offline_events, stats.online_events, duration)
+            overheads[profile.name] = overhead + swap_stall / duration
+        return MixRunResult(
+            profile_names=[p.name for p in profiles],
+            elapsed_s=duration,
+            samples=samples,
+            offline_events=stats.offline_events,
+            online_events=stats.online_events,
+            dram_energy_j=dram_energy,
+            baseline_dram_energy_j=baseline_energy,
+            overhead_by_profile=overheads,
+            swap_stall_s=swap_stall)

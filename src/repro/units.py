@@ -1,0 +1,87 @@
+"""Size, time, and power units used throughout the reproduction.
+
+All byte quantities in this library are plain ``int`` bytes, all times are
+``float`` seconds, and all powers are ``float`` watts unless a name says
+otherwise.  These helpers exist so that configuration code reads like the
+paper ("128MB memory blocks", "18ns exit latency") instead of raw powers of
+two and exponents.
+"""
+
+from __future__ import annotations
+
+# --- sizes (binary powers, as DRAM capacities are) -------------------------
+
+KIB: int = 1 << 10
+MIB: int = 1 << 20
+GIB: int = 1 << 30
+TIB: int = 1 << 40
+
+#: Size of an OS page in bytes (x86-64 base page).
+PAGE_SIZE: int = 4 * KIB
+
+#: Default Linux memory-block size for on/off-lining on x86-64.
+DEFAULT_MEMORY_BLOCK_SIZE: int = 128 * MIB
+
+# --- times ------------------------------------------------------------------
+
+NANOSECOND: float = 1e-9
+MICROSECOND: float = 1e-6
+MILLISECOND: float = 1e-3
+SECOND: float = 1.0
+MINUTE: float = 60.0
+HOUR: float = 3600.0
+
+
+def mib(n: float) -> int:
+    """Return *n* mebibytes as an integer byte count."""
+    return int(n * MIB)
+
+
+def gib(n: float) -> int:
+    """Return *n* gibibytes as an integer byte count."""
+    return int(n * GIB)
+
+
+def to_gib(n_bytes: int) -> float:
+    """Return a byte count as (fractional) gibibytes."""
+    return n_bytes / GIB
+
+
+def to_mib(n_bytes: int) -> float:
+    """Return a byte count as (fractional) mebibytes."""
+    return n_bytes / MIB
+
+
+def pages_of(n_bytes: int) -> int:
+    """Return the number of 4 KiB pages covering *n_bytes*.
+
+    Raises :class:`ValueError` when *n_bytes* is not page aligned, because
+    every region this library manages (memory blocks, sub-array groups) is
+    page aligned by construction and a misaligned size indicates a bug.
+    """
+    if n_bytes % PAGE_SIZE:
+        raise ValueError(f"size {n_bytes} is not a multiple of PAGE_SIZE")
+    return n_bytes // PAGE_SIZE
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True when *n* is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def log2_int(n: int) -> int:
+    """Return log2 of a power-of-two integer, raising otherwise."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{n} is not a power of two")
+    return n.bit_length() - 1
+
+
+def format_bytes(n_bytes: int) -> str:
+    """Render a byte count with a binary suffix, e.g. ``'128MiB'``."""
+    for suffix, unit in (("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if n_bytes >= unit and n_bytes % unit == 0:
+            return f"{n_bytes // unit}{suffix}"
+    for suffix, unit in (("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if n_bytes >= unit:
+            return f"{n_bytes / unit:.2f}{suffix}"
+    return f"{n_bytes}B"

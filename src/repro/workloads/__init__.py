@@ -1,0 +1,46 @@
+"""Workload substrate.
+
+The paper evaluates GreenDIMM with SPEC CPU2006/2017, HiBench, cloudsuite,
+and the Microsoft Azure VM trace.  None of those binaries or traces can be
+shipped, so this package provides synthetic equivalents that expose the
+two things GreenDIMM actually observes: (1) the memory-footprint-vs-time
+behaviour that drives on/off-lining, and (2) the memory intensity (MPKI /
+bandwidth / locality) that drives performance and dynamic DRAM power.
+Profiles are calibrated against the paper's per-application data
+(Table 2, Figures 3 and 6-11); the Azure generator is calibrated to the
+utilization statistics of Figure 1.
+"""
+
+from repro.workloads.trace import FootprintTrace, AccessTraceGenerator, oscillating_trace
+from repro.workloads.profiles import WorkloadProfile, Suite
+from repro.workloads.spec import SPEC_PROFILES, spec_profile, high_mpki_spec2006
+from repro.workloads.datacenter import DATACENTER_PROFILES, datacenter_profile
+from repro.workloads.registry import all_profiles, profile_by_name, EVALUATION_SET
+from repro.workloads.azure import (
+    AzureVMCatalog,
+    AzureTraceGenerator,
+    VMEvent,
+    VMType,
+    UtilizationSample,
+)
+
+__all__ = [
+    "FootprintTrace",
+    "AccessTraceGenerator",
+    "oscillating_trace",
+    "WorkloadProfile",
+    "Suite",
+    "SPEC_PROFILES",
+    "spec_profile",
+    "high_mpki_spec2006",
+    "DATACENTER_PROFILES",
+    "datacenter_profile",
+    "all_profiles",
+    "profile_by_name",
+    "EVALUATION_SET",
+    "AzureVMCatalog",
+    "AzureTraceGenerator",
+    "VMEvent",
+    "VMType",
+    "UtilizationSample",
+]

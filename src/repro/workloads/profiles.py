@@ -1,0 +1,78 @@
+"""Workload profile schema shared by the SPEC and data-center catalogs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.workloads.trace import FootprintTrace
+
+
+class Suite(enum.Enum):
+    SPEC2006 = "SPECCPU2006"
+    SPEC2017 = "SPECCPU2017"
+    HIBENCH = "HiBench"
+    CLOUDSUITE = "cloudsuite"
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything the simulator needs to know about one application.
+
+    Attributes
+    ----------
+    footprint:
+        Resident-memory-vs-time trace; its dynamics drive on/off-lining.
+    mpki:
+        Last-level-cache misses per kilo-instruction — the memory
+        intensity that determines how much interleaving matters (Fig. 3).
+    base_ipc:
+        Instructions per cycle with an ideal (zero-extra-latency) memory
+        system; the performance model derates it with memory stalls.
+    bandwidth_demand_bytes_per_s:
+        DRAM traffic the application generates when running full speed.
+    row_hit_rate:
+        Row-buffer locality of its access stream.
+    cpu_utilization:
+        Average fraction of the CPU it keeps busy (for system power).
+    mergeable_fraction / duplicate_fraction:
+        Share of the footprint advised to KSM, and the share of those
+        pages whose content duplicates another page (drives KSM savings).
+    latency_critical:
+        True for the cloudsuite serving workloads, where the paper checks
+        tail latency rather than runtime.
+    """
+
+    name: str
+    suite: Suite
+    duration_s: float
+    footprint: FootprintTrace
+    mpki: float
+    base_ipc: float = 1.6
+    bandwidth_demand_bytes_per_s: float = 2e9
+    row_hit_rate: float = 0.55
+    cpu_utilization: float = 0.9
+    mergeable_fraction: float = 0.0
+    duplicate_fraction: float = 0.0
+    latency_critical: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.mpki < 0:
+            raise ConfigurationError("mpki must be non-negative")
+        for frac in (self.row_hit_rate, self.cpu_utilization,
+                     self.mergeable_fraction, self.duplicate_fraction):
+            if not 0.0 <= frac <= 1.0:
+                raise ConfigurationError("fractions must be in [0, 1]")
+
+    @property
+    def memory_intensive(self) -> bool:
+        """The paper's informal split: high-MPKI workloads gain from
+        interleaving; low-MPKI ones mostly pay its power cost."""
+        return self.mpki >= 10.0
+
+    @property
+    def peak_footprint_bytes(self) -> int:
+        return self.footprint.peak_bytes

@@ -1,0 +1,34 @@
+"""Unified lookup across the SPEC and data-center catalogs."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.workloads.datacenter import DATACENTER_PROFILES
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.spec import SPEC_PROFILES
+
+#: The application set of the Figure 9-11 energy/overhead evaluation.
+EVALUATION_SET = (
+    "403.gcc", "500.perlbench", "502.gcc", "429.mcf",
+    "462.libquantum", "470.lbm", "519.lbm",
+    "ml_linear", "data-caching", "data-serving", "web-serving",
+)
+
+
+def all_profiles() -> Dict[str, WorkloadProfile]:
+    """Every known profile, keyed by name."""
+    merged = dict(SPEC_PROFILES)
+    merged.update(DATACENTER_PROFILES)
+    return merged
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    """Look up any profile by name across both catalogs."""
+    profiles = all_profiles()
+    try:
+        return profiles[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known: {sorted(profiles)}") from None

@@ -1,0 +1,259 @@
+"""SPEC CPU2006 / CPU2017 synthetic profiles.
+
+Footprint dynamics are calibrated so the GreenDIMM daemon reproduces the
+paper's on/off-lining activity (Table 2: with 128MB blocks, mcf ~6
+off-linings, gcc ~47, soplex ~36, lbm ~30, libquantum ~37, povray ~40).
+The footprint traces bundle the application's anonymous memory together
+with the page-cache/temporary churn the real runs exhibit — the paper's
+libquantum has a 64MB resident footprint yet still drives ~37 off-lining
+events, so the churn component clearly dominates the dynamics.
+
+Memory-intensity numbers (MPKI, bandwidth, row locality, IPC) are typical
+published characterizations of the benchmarks, not measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.units import GIB, MIB
+from repro.workloads.profiles import Suite, WorkloadProfile
+from repro.workloads.trace import FootprintTrace, oscillating_trace
+
+_RUN_S = 600.0
+
+
+def _mcf_trace() -> FootprintTrace:
+    """Ramp to the full 1.7GB working set, hold, release part at the end."""
+    return FootprintTrace.of([
+        (0.0, 200 * MIB),
+        (30.0, int(1.7 * GIB)),
+        (560.0, int(1.7 * GIB)),
+        (575.0, 960 * MIB),
+        (_RUN_S, 960 * MIB),
+    ])
+
+
+SPEC_PROFILES: Dict[str, WorkloadProfile] = {}
+
+
+def _add(profile: WorkloadProfile) -> None:
+    if profile.name in SPEC_PROFILES:
+        raise ConfigurationError(f"duplicate profile {profile.name}")
+    SPEC_PROFILES[profile.name] = profile
+
+
+_add(WorkloadProfile(
+    name="429.mcf", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=_mcf_trace(), mpki=65.0, base_ipc=0.35,
+    bandwidth_demand_bytes_per_s=2.5e9, row_hit_rate=0.35))
+
+_add(WorkloadProfile(
+    name="403.gcc", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 400 * MIB, 1630 * MIB, cycles=5),
+    mpki=6.0, base_ipc=1.1, bandwidth_demand_bytes_per_s=0.8e9,
+    row_hit_rate=0.60))
+
+_add(WorkloadProfile(
+    name="450.soplex", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 300 * MIB, 1480 * MIB, cycles=4),
+    mpki=25.0, base_ipc=0.6, bandwidth_demand_bytes_per_s=1.8e9,
+    row_hit_rate=0.50))
+
+_add(WorkloadProfile(
+    name="470.lbm", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 420 * MIB, 1700 * MIB, cycles=3),
+    mpki=30.0, base_ipc=0.55, bandwidth_demand_bytes_per_s=3.2e9,
+    row_hit_rate=0.75))
+
+_add(WorkloadProfile(
+    name="462.libquantum", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 64 * MIB, 1270 * MIB, cycles=4),
+    mpki=25.0, base_ipc=0.7, bandwidth_demand_bytes_per_s=2.8e9,
+    row_hit_rate=0.85))
+
+_add(WorkloadProfile(
+    name="453.povray", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 30 * MIB, 1340 * MIB, cycles=4),
+    mpki=0.3, base_ipc=1.9, bandwidth_demand_bytes_per_s=0.1e9,
+    row_hit_rate=0.70))
+
+_add(WorkloadProfile(
+    name="500.perlbench", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 300 * MIB, 1550 * MIB, cycles=7),
+    mpki=1.2, base_ipc=1.7, bandwidth_demand_bytes_per_s=0.3e9,
+    row_hit_rate=0.65))
+
+_add(WorkloadProfile(
+    name="502.gcc", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 500 * MIB, 1850 * MIB, cycles=9),
+    mpki=7.0, base_ipc=1.0, bandwidth_demand_bytes_per_s=0.9e9,
+    row_hit_rate=0.60))
+
+_add(WorkloadProfile(
+    name="505.mcf", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=FootprintTrace.of([
+        (0.0, 300 * MIB), (40.0, int(3.5 * GIB)),
+        (550.0, int(3.5 * GIB)), (570.0, int(2.0 * GIB)),
+        (_RUN_S, int(2.0 * GIB))]),
+    mpki=40.0, base_ipc=0.45, bandwidth_demand_bytes_per_s=2.2e9,
+    row_hit_rate=0.40))
+
+_add(WorkloadProfile(
+    name="519.lbm", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 400 * MIB, 1620 * MIB, cycles=5),
+    mpki=35.0, base_ipc=0.5, bandwidth_demand_bytes_per_s=3.5e9,
+    row_hit_rate=0.78))
+
+_add(WorkloadProfile(
+    name="523.xalancbmk", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 250 * MIB, 1420 * MIB, cycles=6),
+    mpki=3.0, base_ipc=1.4, bandwidth_demand_bytes_per_s=0.5e9,
+    row_hit_rate=0.62))
+
+
+# --- the rest of the SPEC2006 set -------------------------------------------
+
+_add(WorkloadProfile(
+    name="401.bzip2", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 200 * MIB, 870 * MIB, cycles=6),
+    mpki=3.5, base_ipc=1.3, bandwidth_demand_bytes_per_s=0.6e9,
+    row_hit_rate=0.58))
+
+_add(WorkloadProfile(
+    name="433.milc", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 500 * MIB, 720 * MIB, cycles=3),
+    mpki=28.0, base_ipc=0.55, bandwidth_demand_bytes_per_s=2.6e9,
+    row_hit_rate=0.68))
+
+_add(WorkloadProfile(
+    name="437.leslie3d", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 120 * MIB, 200 * MIB, cycles=2),
+    mpki=21.0, base_ipc=0.7, bandwidth_demand_bytes_per_s=2.0e9,
+    row_hit_rate=0.72))
+
+_add(WorkloadProfile(
+    name="456.hmmer", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 30 * MIB, 64 * MIB, cycles=2),
+    mpki=0.8, base_ipc=2.0, bandwidth_demand_bytes_per_s=0.15e9,
+    row_hit_rate=0.80))
+
+_add(WorkloadProfile(
+    name="458.sjeng", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 150 * MIB, 180 * MIB, cycles=2),
+    mpki=0.4, base_ipc=1.6, bandwidth_demand_bytes_per_s=0.1e9,
+    row_hit_rate=0.55))
+
+_add(WorkloadProfile(
+    name="459.GemsFDTD", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 500 * MIB, 850 * MIB, cycles=3),
+    mpki=24.0, base_ipc=0.6, bandwidth_demand_bytes_per_s=2.4e9,
+    row_hit_rate=0.70))
+
+_add(WorkloadProfile(
+    name="464.h264ref", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 40 * MIB, 110 * MIB, cycles=4),
+    mpki=0.6, base_ipc=1.9, bandwidth_demand_bytes_per_s=0.2e9,
+    row_hit_rate=0.75))
+
+_add(WorkloadProfile(
+    name="471.omnetpp", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 130 * MIB, 175 * MIB, cycles=2),
+    mpki=13.0, base_ipc=0.8, bandwidth_demand_bytes_per_s=1.0e9,
+    row_hit_rate=0.40))
+
+_add(WorkloadProfile(
+    name="473.astar", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 180 * MIB, 330 * MIB, cycles=3),
+    mpki=7.5, base_ipc=0.9, bandwidth_demand_bytes_per_s=0.8e9,
+    row_hit_rate=0.45))
+
+_add(WorkloadProfile(
+    name="482.sphinx3", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 35 * MIB, 45 * MIB, cycles=2),
+    mpki=11.0, base_ipc=0.9, bandwidth_demand_bytes_per_s=1.1e9,
+    row_hit_rate=0.73))
+
+_add(WorkloadProfile(
+    name="483.xalancbmk", suite=Suite.SPEC2006, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 200 * MIB, 430 * MIB, cycles=4),
+    mpki=9.0, base_ipc=0.9, bandwidth_demand_bytes_per_s=0.9e9,
+    row_hit_rate=0.50))
+
+# --- the rest of the SPEC2017 set -----------------------------------------------
+
+_add(WorkloadProfile(
+    name="503.bwaves", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 700 * MIB, 1400 * MIB, cycles=3),
+    mpki=18.0, base_ipc=0.8, bandwidth_demand_bytes_per_s=2.1e9,
+    row_hit_rate=0.78))
+
+_add(WorkloadProfile(
+    name="520.omnetpp", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 180 * MIB, 250 * MIB, cycles=2),
+    mpki=14.0, base_ipc=0.7, bandwidth_demand_bytes_per_s=1.1e9,
+    row_hit_rate=0.38))
+
+_add(WorkloadProfile(
+    name="525.x264", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 60 * MIB, 150 * MIB, cycles=5),
+    mpki=0.9, base_ipc=2.1, bandwidth_demand_bytes_per_s=0.3e9,
+    row_hit_rate=0.80))
+
+_add(WorkloadProfile(
+    name="531.deepsjeng", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 600 * MIB, 700 * MIB, cycles=2),
+    mpki=1.1, base_ipc=1.5, bandwidth_demand_bytes_per_s=0.25e9,
+    row_hit_rate=0.55))
+
+_add(WorkloadProfile(
+    name="541.leela", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 20 * MIB, 40 * MIB, cycles=2),
+    mpki=0.3, base_ipc=1.8, bandwidth_demand_bytes_per_s=0.08e9,
+    row_hit_rate=0.70))
+
+_add(WorkloadProfile(
+    name="548.exchange2", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 60 * MIB, 80 * MIB, cycles=2),
+    mpki=0.05, base_ipc=2.4, bandwidth_demand_bytes_per_s=0.02e9,
+    row_hit_rate=0.85))
+
+_add(WorkloadProfile(
+    name="549.fotonik3d", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 500 * MIB, 850 * MIB, cycles=3),
+    mpki=22.0, base_ipc=0.7, bandwidth_demand_bytes_per_s=2.3e9,
+    row_hit_rate=0.82))
+
+_add(WorkloadProfile(
+    name="554.roms", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 400 * MIB, 1000 * MIB, cycles=3),
+    mpki=15.0, base_ipc=0.85, bandwidth_demand_bytes_per_s=1.8e9,
+    row_hit_rate=0.76))
+
+_add(WorkloadProfile(
+    name="557.xz", suite=Suite.SPEC2017, duration_s=_RUN_S,
+    footprint=oscillating_trace(_RUN_S, 400 * MIB, 1150 * MIB, cycles=4),
+    mpki=4.5, base_ipc=1.1, bandwidth_demand_bytes_per_s=0.7e9,
+    row_hit_rate=0.48))
+
+
+def spec_profile(name: str) -> WorkloadProfile:
+    """Look up one SPEC profile by its paper-style name (e.g. '429.mcf')."""
+    try:
+        return SPEC_PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown SPEC profile {name!r}; known: {sorted(SPEC_PROFILES)}"
+        ) from None
+
+
+def high_mpki_spec2006() -> List[WorkloadProfile]:
+    """The high-MPKI SPEC2006 set of the Figure 3 interleaving study."""
+    return [SPEC_PROFILES[n] for n in
+            ("429.mcf", "450.soplex", "470.lbm", "462.libquantum")]
+
+
+#: The six applications of the block-size and failure studies (Sec. 5).
+BLOCKSIZE_STUDY_SET = ("429.mcf", "403.gcc", "450.soplex", "470.lbm",
+                       "462.libquantum", "453.povray")

@@ -1,0 +1,146 @@
+"""Footprint traces and synthetic access-trace generation."""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.memctrl.request import AccessType, MemoryRequest
+
+
+@dataclass(frozen=True)
+class FootprintTrace:
+    """Piecewise-linear memory footprint over time.
+
+    ``points`` is a sorted sequence of (time_s, bytes); queries between
+    points interpolate linearly, queries beyond the ends clamp.
+    """
+
+    points: Tuple[Tuple[float, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError("trace needs at least one point")
+        times = [t for t, _ in self.points]
+        if times != sorted(times):
+            raise ConfigurationError("trace points must be time sorted")
+
+    @classmethod
+    def of(cls, points: Sequence[Tuple[float, float]]) -> "FootprintTrace":
+        return cls(tuple((float(t), int(b)) for t, b in points))
+
+    @property
+    def duration_s(self) -> float:
+        return self.points[-1][0]
+
+    @property
+    def peak_bytes(self) -> int:
+        return max(b for _, b in self.points)
+
+    def at(self, time_s: float) -> int:
+        """Footprint in bytes at *time_s* (clamped, interpolated)."""
+        times = [t for t, _ in self.points]
+        if time_s <= times[0]:
+            return self.points[0][1]
+        if time_s >= times[-1]:
+            return self.points[-1][1]
+        i = bisect.bisect_right(times, time_s)
+        t0, b0 = self.points[i - 1]
+        t1, b1 = self.points[i]
+        frac = (time_s - t0) / (t1 - t0)
+        return int(b0 + (b1 - b0) * frac)
+
+    def scaled(self, factor: float) -> "FootprintTrace":
+        return FootprintTrace(tuple((t, int(b * factor)) for t, b in self.points))
+
+
+def oscillating_trace(duration_s: float, low_bytes: int, high_bytes: int,
+                      cycles: int, ramp_s: float = 4.0) -> FootprintTrace:
+    """A footprint that ramps to *high*, drops to *low*, repeatedly.
+
+    Models phase-structured applications (gcc compiling many units,
+    soplex solving successive LPs): each cycle allocates up to the high
+    watermark and releases back to the low one — the dynamics that drive
+    GreenDIMM's on/off-lining counts (Table 2).
+    """
+    if cycles <= 0 or high_bytes <= low_bytes:
+        raise ConfigurationError("need cycles > 0 and high > low")
+    period = duration_s / cycles
+    if ramp_s * 2 >= period:
+        ramp_s = period / 4
+    points: List[Tuple[float, int]] = [(0.0, low_bytes)]
+    for c in range(cycles):
+        start = c * period
+        points.append((start + ramp_s, high_bytes))
+        points.append((start + period - ramp_s, high_bytes))
+        points.append((start + period, low_bytes))
+    return FootprintTrace.of(points)
+
+
+class AccessTraceGenerator:
+    """Synthetic 64B-request streams for the memory controller.
+
+    Models a footprint-limited access pattern with tunable row locality:
+    with probability ``locality`` the next access continues sequentially
+    from the previous one (same DRAM row), otherwise it jumps uniformly
+    within the footprint.  Request arrivals are Poisson at ``rate_per_s``.
+    """
+
+    LINE = 64
+
+    def __init__(self, footprint_bytes: int, rate_per_s: float,
+                 locality: float = 0.6, write_fraction: float = 0.33,
+                 region_offset: int = 0,
+                 rng: Optional[random.Random] = None):
+        if footprint_bytes < self.LINE:
+            raise ConfigurationError("footprint smaller than one line")
+        if not 0.0 <= locality <= 1.0:
+            raise ConfigurationError("locality must be in [0, 1]")
+        if rate_per_s <= 0:
+            raise ConfigurationError("rate must be positive")
+        self.footprint_lines = footprint_bytes // self.LINE
+        self.rate_per_s = rate_per_s
+        self.locality = locality
+        self.write_fraction = write_fraction
+        self.region_offset = region_offset
+        self.rng = rng or random.Random(1234)
+        self._cursor = 0
+
+    def _next_line(self) -> int:
+        if self.rng.random() < self.locality:
+            self._cursor = (self._cursor + 1) % self.footprint_lines
+        else:
+            self._cursor = self.rng.randrange(self.footprint_lines)
+        return self._cursor
+
+    def generate(self, count: int) -> List[MemoryRequest]:
+        """Generate *count* requests with Poisson arrivals."""
+        mean_gap_ns = 1e9 / self.rate_per_s
+        now = 0.0
+        requests = []
+        for _ in range(count):
+            now += self.rng.expovariate(1.0) * mean_gap_ns
+            access = (AccessType.WRITE
+                      if self.rng.random() < self.write_fraction
+                      else AccessType.READ)
+            address = self.region_offset + self._next_line() * self.LINE
+            requests.append(MemoryRequest(address=address, access=access,
+                                          arrival_ns=now))
+        return requests
+
+
+def merged_streams(generators: Sequence[AccessTraceGenerator],
+                   count_each: int) -> List[MemoryRequest]:
+    """Interleave several generators' streams by arrival time.
+
+    Used to model N copies of a benchmark (the paper runs 16 copies of
+    mcf for its busy-power measurements).
+    """
+    out: List[MemoryRequest] = []
+    for gen in generators:
+        out.extend(gen.generate(count_each))
+    out.sort(key=lambda r: r.arrival_ns)
+    return out

@@ -1,0 +1,72 @@
+"""Report rendering and paper-reference data."""
+
+import pytest
+
+from repro.analysis import PAPER, Table, fmt_pct, fmt_w, render_series
+from repro.errors import ConfigurationError
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("Demo", ["app", "value"])
+        table.add_row("mcf", 1.23)
+        table.add_row("gcc", 4.56)
+        text = table.render()
+        assert "== Demo ==" in text
+        assert "mcf" in text and "4.56" in text
+
+    def test_row_width_checked(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row("only-one")
+
+    def test_columns_aligned(self):
+        table = Table("Demo", ["name", "v"])
+        table.add_row("a-very-long-name", 1)
+        table.add_row("x", 2)
+        lines = table.render().splitlines()
+        assert lines[1].index("v") == lines[3].index("1")
+
+
+class TestSeries:
+    def test_render_series(self):
+        text = render_series("S", ["a", "bb"], [1.0, 2.0])
+        assert "== S ==" in text
+        assert text.count("#") > 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            render_series("S", ["a"], [1.0, 2.0])
+
+    def test_zero_series(self):
+        text = render_series("S", ["a"], [0.0])
+        assert "0.00" in text
+
+
+class TestFormatting:
+    def test_fmt_pct(self):
+        assert fmt_pct(0.364) == "36.4%"
+        assert fmt_pct(0.5, digits=0) == "50%"
+
+    def test_fmt_w(self):
+        assert fmt_w(25.84) == "25.8W"
+
+
+class TestPaperData:
+    def test_every_experiment_documented(self):
+        for key in ("fig1", "tab1", "fig2", "fig3", "tab2", "tab3", "fig6",
+                    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                    "fig13"):
+            assert key in PAPER
+            assert "description" in PAPER[key]
+
+    def test_headline_numbers(self):
+        assert PAPER["fig13"]["dram_reduction_1tb"] == 0.36
+        assert PAPER["fig13"]["system_reduction_1tb"] == 0.20
+        assert PAPER["fig13"]["ksm_dram_reduction_1tb"] == 0.55
+        assert PAPER["fig12"]["mean_offline_blocks"] == 116
+
+    def test_table2_consistency(self):
+        events = PAPER["tab2"]["offline_events"]
+        for app, by_size in events.items():
+            assert by_size[128] >= by_size[256] >= by_size[512]

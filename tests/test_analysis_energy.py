@@ -1,0 +1,67 @@
+"""EnergyAccount integration and comparison."""
+
+import pytest
+
+from repro.analysis.energy import EnergyAccount
+from repro.dram.organization import spec_server_memory
+from repro.errors import ConfigurationError
+from repro.power.model import DRAMPowerBreakdown, DRAMPowerModel
+
+MODEL = DRAMPowerModel(spec_server_memory())
+
+
+class TestEnergyAccount:
+    def test_integration(self):
+        account = EnergyAccount()
+        account.add(DRAMPowerBreakdown(1.0, 2.0, 3.0, 4.0, 5.0), 10.0)
+        assert account.total_j == pytest.approx(150.0)
+        assert account.static_j == pytest.approx(30.0)
+        assert account.mean_power_w == pytest.approx(15.0)
+        assert account.elapsed_s == 10.0
+
+    def test_accumulates(self):
+        account = EnergyAccount()
+        breakdown = DRAMPowerBreakdown(1.0, 0.0, 0.0, 0.0, 0.0)
+        account.add(breakdown, 5.0)
+        account.add(breakdown, 5.0)
+        assert account.joules["background"] == pytest.approx(10.0)
+
+    def test_fractions_sum_to_one(self):
+        account = EnergyAccount()
+        account.add(MODEL.busy_power(10e9), 60.0)
+        total = sum(account.fraction(c) for c in
+                    ("background", "refresh", "activate", "rw", "io"))
+        assert total == pytest.approx(1.0)
+
+    def test_unknown_component(self):
+        with pytest.raises(ConfigurationError):
+            EnergyAccount().fraction("dll")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyAccount().add(DRAMPowerBreakdown(1, 1, 1, 1, 1), -1.0)
+
+    def test_compare_shows_static_reduction_only(self):
+        """Gating reduces background+refresh and nothing else."""
+        unmanaged = EnergyAccount()
+        gated = EnergyAccount()
+        unmanaged.add(MODEL.busy_power(10e9), 100.0)
+        gated.add(MODEL.busy_power(10e9, dpd_fraction=0.6), 100.0)
+        reductions = dict(gated.compare(unmanaged))
+        assert reductions["background"] > 0.4
+        assert reductions["refresh"] > 0.4
+        assert reductions["activate"] == pytest.approx(0.0)
+        assert reductions["rw"] == pytest.approx(0.0)
+        assert reductions["io"] == pytest.approx(0.0)
+
+    def test_render(self):
+        account = EnergyAccount()
+        account.add(MODEL.idle_power(), 10.0)
+        text = account.render("demo")
+        assert "demo" in text and "total" in text and "100.0%" in text
+
+    def test_empty_account(self):
+        account = EnergyAccount()
+        assert account.total_j == 0.0
+        assert account.mean_power_w == 0.0
+        assert account.fraction("io") == 0.0

@@ -1,0 +1,94 @@
+"""Baseline policy estimators (srf-only, RAMZzz, PASR)."""
+
+import pytest
+
+from repro.baselines import (
+    PASRPolicy,
+    RAMZzzPolicy,
+    SelfRefreshOnlyPolicy,
+    resident_ranks_for,
+)
+from repro.dram.organization import spec_server_memory
+from repro.power.model import DRAMPowerModel
+from repro.power.states import PowerState
+from repro.units import GIB
+from repro.workloads import profile_by_name
+
+ORG = spec_server_memory()
+MODEL = DRAMPowerModel(ORG)
+MCF = profile_by_name("429.mcf")
+GCC = profile_by_name("403.gcc")
+
+
+def policy_power(policy, profile, interleaved, n_copies=8):
+    estimate = policy.estimate(profile, ORG, interleaved, n_copies)
+    return MODEL.power(estimate.rank_profiles).total_w, estimate
+
+
+class TestResidentRanks:
+    def test_interleaved_footprint_everywhere(self):
+        assert resident_ranks_for(GIB, ORG, interleaved=True) == ORG.total_ranks
+
+    def test_non_interleaved_minimal(self):
+        # 1GB + 2GB kernel -> one 4GB rank.
+        assert resident_ranks_for(GIB, ORG, interleaved=False) == 1
+
+    def test_large_footprint_spans_ranks(self):
+        assert resident_ranks_for(30 * GIB, ORG, interleaved=False) == 8
+
+    def test_capped_at_total(self):
+        assert resident_ranks_for(10_000 * GIB, ORG,
+                                  interleaved=False) == ORG.total_ranks
+
+
+class TestSelfRefreshOnly:
+    def test_interleaved_no_rank_sleeps(self):
+        _power, estimate = policy_power(SelfRefreshOnlyPolicy(), MCF, True)
+        for profile in estimate.rank_profiles:
+            assert PowerState.SELF_REFRESH not in profile.state_residency
+
+    def test_non_interleaved_idle_ranks_sleep(self):
+        _power, estimate = policy_power(SelfRefreshOnlyPolicy(), MCF, False)
+        sleeping = sum(
+            1 for p in estimate.rank_profiles
+            if p.state_residency.get(PowerState.SELF_REFRESH, 0) > 0.5)
+        assert sleeping >= 8
+
+    def test_power_lower_without_interleaving(self):
+        with_intlv, _ = policy_power(SelfRefreshOnlyPolicy(), MCF, True)
+        without, _ = policy_power(SelfRefreshOnlyPolicy(), MCF, False)
+        assert without < with_intlv
+
+
+class TestRAMZzz:
+    def test_no_benefit_with_interleaving(self):
+        ramzzz, _ = policy_power(RAMZzzPolicy(), MCF, True)
+        srf, _ = policy_power(SelfRefreshOnlyPolicy(), MCF, True)
+        assert ramzzz >= srf * 0.98  # monitoring gains nothing
+
+    def test_beats_srf_without_interleaving(self):
+        ramzzz, _ = policy_power(RAMZzzPolicy(), GCC, False)
+        srf, _ = policy_power(SelfRefreshOnlyPolicy(), GCC, False)
+        assert ramzzz < srf
+
+    def test_carries_runtime_overhead(self):
+        _power, estimate = policy_power(RAMZzzPolicy(), MCF, False)
+        assert estimate.runtime_factor > 1.0
+
+
+class TestPASR:
+    def test_no_idle_banks_with_interleaving(self):
+        _power, estimate = policy_power(PASRPolicy(), MCF, True)
+        assert "0.00" in estimate.notes
+
+    def test_refresh_savings_without_interleaving(self):
+        pasr, _ = policy_power(PASRPolicy(), MCF, False)
+        srf, _ = policy_power(SelfRefreshOnlyPolicy(), MCF, False)
+        assert pasr < srf
+
+    def test_idle_bank_fraction_shrinks_with_footprint(self):
+        _p1, small = policy_power(PASRPolicy(), GCC, False, n_copies=1)
+        _p2, big = policy_power(PASRPolicy(), MCF, False, n_copies=16)
+        frac_small = float(small.notes.split()[-1])
+        frac_big = float(big.notes.split()[-1])
+        assert frac_small > frac_big

@@ -1,0 +1,81 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert "greendimm-repro" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "429.mcf" in out
+        assert "data-caching" in out
+        assert "latency-critical" in out
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("fig1", "tab3", "fig13", "tail-latency"):
+            assert exp in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "tab1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "paper vs measured" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_topology(self, capsys):
+        assert main(["topology"]) == 0
+        out = capsys.readouterr().out
+        assert "sub-array groups" in out
+        assert "64 x 1024 MiB" in out
+
+    def test_topology_scaled(self, capsys):
+        assert main(["topology", "--capacity", "256"]) == 0
+        assert "256GB" in capsys.readouterr().out
+
+    def test_simulate_cpu_bound(self, capsys):
+        assert main(["simulate", "453.povray", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "DRAM energy saved" in out
+        assert "execution-time overhead" in out
+
+    def test_simulate_unknown_workload(self, capsys):
+        assert main(["simulate", "999.bogus"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_validate_passes(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "Model validation" in out
+        assert "FAIL" not in out
+
+    def test_validation_results_structured(self):
+        from repro.validate import run_validation
+
+        results = run_validation()
+        assert len(results) >= 10
+        assert all(r.passed for r in results)
+        names = {r.name for r in results}
+        assert "power-down exit (ns)" in names

@@ -1,0 +1,205 @@
+"""The GreenDIMM daemon: thresholds, selection, on/off-lining."""
+
+import pytest
+
+from repro.core.config import GreenDIMMConfig, SelectionPolicy
+from repro.core.selector import BlockSelector
+from repro.core.system import GreenDIMMSystem
+from repro.dram.device import DDR4_4GB_X8
+from repro.dram.organization import MemoryOrganization
+from repro.errors import ConfigurationError
+from repro.os.page import OwnerKind
+from repro.units import GIB, MIB, PAGE_SIZE
+
+
+def make_system(**kwargs) -> GreenDIMMSystem:
+    org = MemoryOrganization(device=DDR4_4GB_X8, channels=1,
+                             dimms_per_channel=1, ranks_per_dimm=1)
+    defaults = dict(organization=org,
+                    config=GreenDIMMConfig(block_bytes=64 * MIB),
+                    kernel_boot_bytes=256 * MIB,
+                    transient_failure_probability=0.0, seed=3)
+    defaults.update(kwargs)
+    return GreenDIMMSystem(**defaults)
+
+
+def settle(system, start=0.0, epochs=20):
+    for i in range(epochs):
+        system.step(start + i)
+    return start + epochs
+
+
+def _grow(system, owner, total_pages, start):
+    """Grow an owner gradually, letting the daemon on-line as needed."""
+    now = start
+    remaining = total_pages
+    while remaining > 0:
+        take = min(remaining, max(0, system.mm.free_pages - 2048))
+        if take > 0:
+            system.mm.allocate(owner, take)
+            remaining -= take
+        else:
+            system.daemon.emergency_online(remaining, now)
+        now += 1.0
+        system.step(now)
+    return now
+
+
+class TestConfig:
+    def test_hysteresis_enforced(self):
+        with pytest.raises(ConfigurationError):
+            GreenDIMMConfig(off_thr_fraction=0.05, on_thr_fraction=0.10)
+
+    def test_defaults_match_paper(self):
+        config = GreenDIMMConfig()
+        assert config.off_thr_fraction > 0.10  # "10% + alpha"
+        assert config.monitor_period_s == 1.0
+        assert config.block_bytes == 128 * MIB
+        assert config.selection is SelectionPolicy.REMOVABLE_FIRST
+
+    def test_block_size_must_match_mm(self):
+        from repro.core.daemon import GreenDIMMDaemon
+
+        system = make_system()
+        bad_config = GreenDIMMConfig(block_bytes=128 * MIB)
+        with pytest.raises(ConfigurationError):
+            GreenDIMMDaemon(system.mm, system.hotplug, system.power_control,
+                            config=bad_config)
+
+
+class TestOfflineBehaviour:
+    def test_idle_system_offlines_surplus(self):
+        system = make_system()
+        settle(system)
+        daemon = system.daemon
+        assert daemon.offline_block_count > 0
+        free = system.mm.free_pages
+        assert free >= daemon.reserve_pages
+        # The reserve is respected: free memory stays close to off_thr.
+        assert free < daemon.reserve_pages + 3 * system.mm.block_pages
+
+    def test_offlined_capacity_gated(self):
+        system = make_system()
+        settle(system)
+        assert system.daemon.dpd_fraction() > 0.5
+
+    def test_growth_triggers_online(self):
+        system = make_system()
+        now = settle(system)
+        before_online = system.daemon.stats.online_events
+        _grow(system, "app", int(2.5 * GIB) // PAGE_SIZE, start=now)
+        assert system.daemon.stats.online_events > before_online
+        assert system.mm.owner_pages("app") == int(2.5 * GIB) // PAGE_SIZE
+
+    def test_shrink_triggers_more_offline(self):
+        system = make_system()
+        system.mm.allocate("app", 2 * GIB // PAGE_SIZE)
+        now = settle(system)
+        count_before = system.daemon.offline_block_count
+        system.mm.free_pages_of("app", GIB // PAGE_SIZE)
+        settle(system, start=now)
+        assert system.daemon.offline_block_count > count_before
+
+    def test_monitor_period_respected(self):
+        system = make_system(
+            config=GreenDIMMConfig(block_bytes=64 * MIB,
+                                   monitor_period_s=10.0))
+        system.step(0.0, dt_s=1.0)  # first step always monitors
+        events_after_first = system.daemon.stats.offline_events
+        for t in range(1, 9):
+            system.step(float(t), dt_s=1.0)
+        assert system.daemon.stats.offline_events == events_after_first
+
+    def test_emergency_online(self):
+        system = make_system()
+        settle(system)
+        freed = system.daemon.emergency_online(needed_pages=32768)
+        assert freed > 0
+        assert system.daemon.stats.emergency_onlines == 1
+
+
+class TestSelectorPolicies:
+    def test_removable_first_prefers_free_blocks(self):
+        system = make_system()
+        system.mm.allocate("app", 1000)
+        selector = BlockSelector(system.hotplug,
+                                 SelectionPolicy.REMOVABLE_FIRST)
+        candidates = selector.candidates(5)
+        assert candidates
+        assert all(system.hotplug.is_free(b) for b in candidates)
+        # Highest-address-first ordering.
+        assert candidates == sorted(candidates, reverse=True)
+
+    def test_random_policy_uses_whole_movable_pool(self):
+        system = make_system()
+        selector = BlockSelector(system.hotplug, SelectionPolicy.RANDOM)
+        pool = selector.candidates(10_000)
+        from repro.os.zones import ZoneKind
+        assert pool
+        assert all(system.mm.zone_kind_of_block(b) is ZoneKind.MOVABLE
+                   for b in pool)
+
+    def test_zero_count(self):
+        system = make_system()
+        selector = BlockSelector(system.hotplug)
+        assert selector.candidates(0) == []
+
+    def test_random_policy_causes_more_failures(self):
+        """Figure 8: removable-first roughly halves off-lining failures."""
+        totals = {}
+        for policy in (SelectionPolicy.RANDOM,
+                       SelectionPolicy.REMOVABLE_FIRST):
+            system = make_system(
+                config=GreenDIMMConfig(block_bytes=64 * MIB,
+                                       selection=policy),
+                transient_failure_probability=0.9)
+            # Scatter pinned pages through the movable zone.
+            for i in range(24):
+                system.mm.allocate(f"pin{i}", 4, kind=OwnerKind.PINNED)
+            system.mm.allocate("app", GIB // PAGE_SIZE)
+            settle(system, epochs=40)
+            totals[policy] = system.daemon.stats.total_failures
+        assert totals[SelectionPolicy.RANDOM] > totals[
+            SelectionPolicy.REMOVABLE_FIRST]
+
+
+class TestOverheadAccounting:
+    def test_busy_time_tracked(self):
+        system = make_system()
+        settle(system)
+        stats = system.daemon.stats
+        assert stats.busy_s > 0
+        assert system.daemon.cpu_overhead_fraction(20.0) < 0.05
+
+    def test_wakeup_wait_accumulates(self):
+        system = make_system()
+        now = settle(system)
+        _grow(system, "app", 2 * GIB // PAGE_SIZE, start=now)
+        assert system.daemon.stats.wakeup_wait_s > 0
+
+
+class TestEventLog:
+    def test_events_recorded_in_time_order(self):
+        system = make_system()
+        settle(system, epochs=15)
+        log = list(system.daemon.event_log)
+        assert log, "idle settling should off-line blocks"
+        times = [e.time_s for e in log]
+        assert times == sorted(times)
+        assert all(e.kind == "offline" for e in log)
+
+    def test_online_and_emergency_events(self):
+        system = make_system()
+        now = settle(system)
+        system.daemon.emergency_online(needed_pages=32768, now_s=now)
+        kinds = {e.kind for e in system.daemon.event_log}
+        assert "online" in kinds
+        assert "emergency" in kinds
+
+    def test_log_is_bounded(self):
+        from repro.core.daemon import DaemonEvent
+
+        system = make_system()
+        for i in range(25_000):
+            system.daemon.event_log.append(DaemonEvent(float(i), "offline", 0))
+        assert len(system.daemon.event_log) == 20_000

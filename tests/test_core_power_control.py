@@ -1,0 +1,85 @@
+"""GreenDIMMPowerControl: gating follows the offline block set."""
+
+import pytest
+
+from repro.core.mapping import PowerBlockMap
+from repro.core.power_control import GreenDIMMPowerControl
+from repro.dram.address import AddressMapping
+from repro.dram.organization import spec_server_memory
+from repro.units import GIB, MIB
+
+ORG = spec_server_memory()
+MAPPING = AddressMapping(ORG, interleaved=True)
+
+
+def control(block_bytes=GIB, pair_gating=False):
+    return GreenDIMMPowerControl(PowerBlockMap(MAPPING, block_bytes),
+                                 pair_gating=pair_gating)
+
+
+class TestGatingOnOffline:
+    def test_whole_group_block_gates_immediately(self):
+        ctl = control()
+        gated = ctl.block_offlined(5)
+        assert gated == [5]
+        assert ctl.register.is_gated(5)
+        assert ctl.gated_capacity_fraction() == pytest.approx(1 / 64)
+
+    def test_partial_group_waits_for_all_blocks(self):
+        ctl = GreenDIMMPowerControl(PowerBlockMap(MAPPING, 128 * MIB),
+                                    pair_gating=False)
+        for block in range(8, 15):
+            assert ctl.block_offlined(block) == []
+        assert ctl.block_offlined(15) == [1]
+
+    def test_pair_gating_needs_partner(self):
+        ctl = control(pair_gating=True)
+        assert ctl.block_offlined(2) == []
+        assert ctl.block_offlined(3) == [2, 3]
+
+    def test_offline_fraction_vs_gated_fraction(self):
+        ctl = control(pair_gating=True)
+        ctl.block_offlined(2)
+        assert ctl.offline_capacity_fraction() == pytest.approx(1 / 64)
+        assert ctl.gated_capacity_fraction() == 0.0
+
+
+class TestOnlinePath:
+    def test_prepare_online_wakes_and_waits(self):
+        ctl = control()
+        ctl.block_offlined(5)
+        wait = ctl.prepare_online(5, now_s=1.0)
+        assert wait == pytest.approx(18e-9)
+        assert not ctl.register.is_gated(5)
+        assert ctl.wakeup_wait_s == pytest.approx(18e-9)
+
+    def test_prepare_online_of_ungated_block_is_free(self):
+        ctl = control()
+        assert ctl.prepare_online(7, now_s=0.0) == 0.0
+
+    def test_block_onlined_updates_set(self):
+        ctl = control()
+        ctl.block_offlined(5)
+        ctl.prepare_online(5, now_s=0.0)
+        ctl.block_onlined(5, now_s=1.0)
+        assert 5 not in ctl.offline_blocks
+        assert ctl.offline_capacity_fraction() == 0.0
+
+    def test_onlining_breaks_partner_gating(self):
+        ctl = control(pair_gating=True)
+        ctl.block_offlined(2)
+        ctl.block_offlined(3)
+        assert ctl.register.is_gated(2) and ctl.register.is_gated(3)
+        ctl.prepare_online(3, now_s=1.0)
+        broken = ctl.block_onlined(3, now_s=1.0)
+        # Group 2 is still offline but lost its sense-amp partner.
+        assert broken == [2]
+        assert not ctl.register.is_gated(2)
+
+    def test_roundtrip_can_regate(self):
+        ctl = control()
+        ctl.block_offlined(5)
+        ctl.prepare_online(5, now_s=0.0)
+        ctl.block_onlined(5, now_s=1.0)
+        gated = ctl.block_offlined(5, now_s=2.0)
+        assert gated == [5]

@@ -1,0 +1,70 @@
+"""The shipped examples must run and print what they promise."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "DRAM energy saved" in out
+    assert "execution-time cost" in out
+    assert "deep power-down" in out
+
+
+def test_interleaving_study():
+    out = run_example("interleaving_study.py")
+    assert "self-refresh residency" in out
+    assert "w/o interleaving" in out
+    assert "speeds 462.libquantum up" in out
+
+
+def test_sysfs_admin_tour():
+    out = run_example("sysfs_admin_tour.py")
+    assert "-EBUSY" in out
+    assert "-EAGAIN" in out
+    assert "MemTotal shrank" in out
+    assert "sub-array groups gated" in out
+
+
+@pytest.mark.slow
+def test_vm_consolidation():
+    out = run_example("vm_consolidation.py", timeout=600)
+    assert "mean off-lined blocks" in out
+    assert "KSM pages currently merged" in out
+
+
+def test_capacity_planning():
+    out = run_example("capacity_planning.py")
+    assert "DRAM-saving" in out
+    assert "per-component reduction" in out
+    assert "background" in out
+
+
+def test_api_doc_generator():
+    """docs/API.md regenerates cleanly and covers the core classes."""
+    import pathlib
+    import subprocess
+    import sys
+
+    root = pathlib.Path(__file__).parent.parent
+    result = subprocess.run(
+        [sys.executable, str(root / "benchmarks" / "generate_api_md.py")],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    text = (root / "docs" / "API.md").read_text()
+    for name in ("GreenDIMMDaemon", "PhysicalMemoryManager",
+                 "DRAMPowerModel", "KSMDaemon", "ServerSimulator"):
+        assert name in text

@@ -1,0 +1,132 @@
+"""Smoke + shape tests for every experiment module (fast mode).
+
+The benchmark harness runs these for timing and row output; here we pin
+the structural contract (tables present, paper/measured keys aligned)
+and the headline shape of each reproduction.
+"""
+
+import pytest
+
+from repro.experiments import (
+    daemon_overhead,
+    fig02_idle_busy,
+    fig03_interleaving,
+    fig08_failures,
+    tab01_power_vs_util,
+    tab03_latency,
+    tail_latency,
+)
+from repro.experiments.common import ExperimentResult
+from repro.experiments.fig06_07_tab02_blocksize import (
+    run_fig06,
+    run_fig07,
+    run_tab02,
+)
+
+FAST_RUNNERS = {
+    "tab1": tab01_power_vs_util.run,
+    "fig2": fig02_idle_busy.run,
+    "fig3": fig03_interleaving.run,
+    "fig6": run_fig06,
+    "fig7": run_fig07,
+    "tab2": run_tab02,
+    "tab3": tab03_latency.run,
+    "fig8": fig08_failures.run,
+    "tail_latency": tail_latency.run,
+}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: runner(fast=True)
+            for name, runner in FAST_RUNNERS.items()}
+
+
+class TestContract:
+    def test_all_return_experiment_results(self, results):
+        for name, result in results.items():
+            assert isinstance(result, ExperimentResult)
+            assert result.tables, f"{name} rendered no tables"
+            assert result.measured, f"{name} reported nothing"
+
+    def test_renders_are_complete(self, results):
+        for result in results.values():
+            text = result.render()
+            assert result.description in text
+            for key in result.measured:
+                assert str(key) in text
+
+    def test_paper_keys_subset_of_measured(self, results):
+        for name, result in results.items():
+            for key in result.paper:
+                assert key in result.measured, f"{name}: {key}"
+
+
+class TestShapes:
+    def test_tab1_flat_without_management(self, results):
+        assert results["tab1"].measured["spread_w"] < 1e-6
+
+    def test_fig2_power_grows_with_capacity(self, results):
+        measured = results["fig2"].measured
+        assert (measured["busy_w_64gb"] < measured["busy_w_256gb"]
+                < measured["busy_w_1tb"])
+
+    def test_fig3_interleaving_tradeoff(self, results):
+        measured = results["fig3"].measured
+        assert measured["max_speedup"] > 2.5
+        assert (measured["selfrefresh_fraction_non_interleaved"]
+                > measured["selfrefresh_fraction_interleaved"] + 0.3)
+
+    def test_fig6_small_blocks_offline_more(self, results):
+        assert results["fig6"].measured["gcc_ratio_128_over_512"] > 1.0
+
+    def test_fig7_overhead_within_paper_band(self, results):
+        assert results["fig7"].measured["worst_overhead"] <= 0.035
+
+    def test_tab2_event_ordering(self, results):
+        measured = results["tab2"].measured
+        assert measured["gcc_events_128"] > measured["mcf_events_128"]
+
+    def test_tab3_latencies_exact(self, results):
+        measured = results["tab3"].measured
+        assert measured["offline_ms"] == pytest.approx(1.58, rel=0.05)
+        assert measured["online_ms"] == pytest.approx(3.44, rel=0.05)
+
+    def test_fig8_removable_first_helps(self, results):
+        assert results["fig8"].measured["failure_reduction"] > 0.3
+
+    def test_tail_latency_structural_immunity(self, results):
+        measured = results["tail_latency"].measured
+        assert measured["greendimm_p99_inflation"] == 1.0
+        assert measured["rank_policy_p99_inflation"] > 1.02
+
+
+class TestDaemonOverheadFast:
+    def test_core_shares_negligible(self):
+        result = daemon_overhead.run(fast=True)
+        assert result.measured["online_core_fraction"] < 0.01
+        assert result.measured["offline_core_fraction"] < 0.01
+
+
+class TestRegistry:
+    def test_every_experiment_registered(self):
+        from repro.experiments.registry import runners
+
+        table = runners()
+        for name in ("fig1", "tab1", "fig2", "fig3", "fig6", "fig7",
+                     "tab2", "tab3", "fig8", "fig9", "fig10", "fig11",
+                     "fig12", "fig13", "daemon-overhead", "tail-latency"):
+            assert name in table
+
+    def test_run_experiment_by_name(self):
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment("tab1", fast=True)
+        assert result.experiment == "tab1"
+
+    def test_unknown_name_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.experiments.registry import run_experiment
+
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")

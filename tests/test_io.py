@@ -1,0 +1,102 @@
+"""Trace/result serialization round trips."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io import (
+    load_azure_trace,
+    load_epoch_samples,
+    load_footprint_trace,
+    save_azure_trace,
+    save_epoch_samples,
+    save_footprint_trace,
+)
+from repro.sim.server import EpochSample
+from repro.workloads.azure import AzureTraceGenerator
+from repro.workloads.trace import FootprintTrace, oscillating_trace
+
+
+class TestFootprintRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        trace = oscillating_trace(600.0, 100, 500, cycles=3)
+        path = tmp_path / "trace.json"
+        save_footprint_trace(trace, path)
+        loaded = load_footprint_trace(path)
+        assert loaded.points == trace.points
+        assert loaded.at(123.0) == trace.at(123.0)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        trace = FootprintTrace.of([(0, 1)])
+        path = tmp_path / "trace.json"
+        save_footprint_trace(trace, path)
+        with pytest.raises(ConfigurationError):
+            load_azure_trace(path)
+
+
+class TestAzureRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = AzureTraceGenerator(duration_s=2 * 3600.0, seed=3).generate()
+        path = tmp_path / "azure.json"
+        save_azure_trace(trace, path)
+        loaded = load_azure_trace(path)
+        assert loaded.capacity_bytes == trace.capacity_bytes
+        assert len(loaded.events) == len(trace.events)
+        assert len(loaded.samples) == len(trace.samples)
+        assert loaded.mean_utilization == pytest.approx(
+            trace.mean_utilization)
+        for original, copy in zip(trace.events, loaded.events):
+            assert copy.time_s == original.time_s
+            assert copy.kind == original.kind
+            assert copy.instance.vm_id == original.instance.vm_id
+            assert (copy.instance.vm_type.memory_bytes
+                    == original.instance.vm_type.memory_bytes)
+
+    def test_instances_shared_between_events(self, tmp_path):
+        trace = AzureTraceGenerator(duration_s=4 * 3600.0, seed=4).generate()
+        path = tmp_path / "azure.json"
+        save_azure_trace(trace, path)
+        loaded = load_azure_trace(path)
+        by_id = {}
+        for event in loaded.events:
+            vm = event.instance
+            assert by_id.setdefault(vm.vm_id, vm) is vm
+
+    def test_replayable(self, tmp_path):
+        """A loaded trace drives the simulator identically to a fresh one."""
+        from repro.core.config import GreenDIMMConfig
+        from repro.core.system import GreenDIMMSystem
+        from repro.dram.device import DDR4_4GB_X8
+        from repro.dram.organization import MemoryOrganization
+        from repro.sim.server import ServerSimulator
+        from repro.units import GIB, MIB
+
+        trace = AzureTraceGenerator(capacity_bytes=24 * GIB,
+                                    duration_s=3600.0, seed=5).generate()
+        path = tmp_path / "azure.json"
+        save_azure_trace(trace, path)
+        loaded = load_azure_trace(path)
+
+        def replay(t):
+            org = MemoryOrganization(device=DDR4_4GB_X8, channels=2,
+                                     dimms_per_channel=2, ranks_per_dimm=2)
+            system = GreenDIMMSystem(
+                organization=org, config=GreenDIMMConfig(block_bytes=512 * MIB),
+                kernel_boot_bytes=GIB, transient_failure_probability=0.5,
+                seed=6)
+            return ServerSimulator(system, seed=6).run_vm_trace(t, epoch_s=10.0)
+
+        first = replay(trace)
+        second = replay(loaded)
+        assert [s.offline_blocks for s in first.samples] == [
+            s.offline_blocks for s in second.samples]
+
+
+class TestEpochSamples:
+    def test_roundtrip(self, tmp_path):
+        samples = [EpochSample(time_s=float(t), used_pages=100 + t,
+                               free_pages=900 - t, offline_blocks=t % 5,
+                               dpd_fraction=t / 100.0, dram_power_w=4.2)
+                   for t in range(20)]
+        path = tmp_path / "samples.json"
+        save_epoch_samples(samples, path)
+        assert load_epoch_samples(path) == samples

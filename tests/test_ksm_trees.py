@@ -1,0 +1,128 @@
+"""KSM stable/unstable trees."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ksm.trees import StableTree, UnstableTree, _Treap
+
+
+class TestTreap:
+    def test_insert_search(self):
+        treap = _Treap()
+        treap.insert(10, "a")
+        treap.insert(5, "b")
+        treap.insert(20, "c")
+        assert treap.search(10) == "a"
+        assert treap.search(5) == "b"
+        assert treap.search(99) is None
+        assert len(treap) == 3
+
+    def test_insert_replaces(self):
+        treap = _Treap()
+        treap.insert(10, "a")
+        treap.insert(10, "b")
+        assert treap.search(10) == "b"
+        assert len(treap) == 1
+
+    def test_remove(self):
+        treap = _Treap()
+        treap.insert(10, "a")
+        assert treap.remove(10)
+        assert not treap.remove(10)
+        assert treap.search(10) is None
+        assert len(treap) == 0
+
+    def test_keys_in_order(self):
+        treap = _Treap()
+        for key in (5, 3, 9, 1, 7):
+            treap.insert(key, key)
+        assert list(treap.keys()) == [1, 3, 5, 7, 9]
+
+    def test_clear(self):
+        treap = _Treap()
+        treap.insert(1, "x")
+        treap.clear()
+        assert len(treap) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_sorted_iteration_invariant(self, keys):
+        treap = _Treap()
+        for key in keys:
+            treap.insert(key, key)
+        out = list(treap.keys())
+        assert out == sorted(set(keys))
+        assert len(treap) == len(set(keys))
+
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=0, max_value=64)),
+                    max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_mixed_ops_match_dict(self, ops):
+        treap = _Treap()
+        model = {}
+        for is_insert, key in ops:
+            if is_insert:
+                treap.insert(key, key * 2)
+                model[key] = key * 2
+            else:
+                assert treap.remove(key) == (key in model)
+                model.pop(key, None)
+        assert list(treap.keys()) == sorted(model)
+        for key, value in model.items():
+            assert treap.search(key) == value
+
+
+class TestStableTree:
+    def test_insert_and_sharers(self):
+        tree = StableTree()
+        tree.insert(42, sharers=2)
+        assert tree.lookup(42).sharers == 2
+        tree.add_sharer(42)
+        assert tree.lookup(42).sharers == 3
+
+    def test_drop_sharer_removes_at_one(self):
+        tree = StableTree()
+        tree.insert(42, sharers=2)
+        remaining = tree.drop_sharer(42)
+        assert remaining == 0
+        assert tree.lookup(42) is None
+        assert len(tree) == 0
+
+    def test_drop_keeps_when_shared(self):
+        tree = StableTree()
+        tree.insert(42, sharers=3)
+        assert tree.drop_sharer(42) == 2
+        assert tree.lookup(42).sharers == 2
+
+    def test_missing_key_raises(self):
+        tree = StableTree()
+        with pytest.raises(KeyError):
+            tree.add_sharer(1)
+        with pytest.raises(KeyError):
+            tree.drop_sharer(1)
+
+    def test_fingerprints_sorted(self):
+        tree = StableTree()
+        for fp in (9, 3, 7):
+            tree.insert(fp)
+        assert list(tree.fingerprints()) == [3, 7, 9]
+
+
+class TestUnstableTree:
+    def test_first_sighting_inserts(self):
+        tree = UnstableTree()
+        assert tree.find_or_insert(10, "holder-a") is None
+        assert len(tree) == 1
+
+    def test_second_sighting_returns_holder(self):
+        tree = UnstableTree()
+        tree.find_or_insert(10, "holder-a")
+        assert tree.find_or_insert(10, "holder-b") == "holder-a"
+
+    def test_reset_between_passes(self):
+        tree = UnstableTree()
+        tree.find_or_insert(10, "holder-a")
+        tree.reset()
+        assert len(tree) == 0
+        assert tree.find_or_insert(10, "holder-b") is None

@@ -1,0 +1,220 @@
+"""Buddy allocator: correctness and invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.os.buddy import MAX_ORDER, BuddyAllocator
+
+PAGES = 1 << 14  # 16K pages = 64MiB
+
+
+def make_allocator(pages: int = PAGES) -> BuddyAllocator:
+    return BuddyAllocator(start_pfn=0, total_pages=pages)
+
+
+class TestBasics:
+    def test_initial_free_count(self):
+        buddy = make_allocator()
+        assert buddy.free_pages == PAGES
+
+    def test_initially_all_max_order(self):
+        buddy = make_allocator()
+        assert len(buddy.free_blocks(MAX_ORDER)) == PAGES >> MAX_ORDER
+        for order in range(MAX_ORDER):
+            assert not buddy.free_blocks(order)
+
+    def test_alignment_enforced(self):
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(start_pfn=3, total_pages=PAGES)
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(start_pfn=0, total_pages=PAGES + 1)
+
+    def test_alloc_prefers_lowest_address(self):
+        buddy = make_allocator()
+        assert buddy.alloc_block(0) == 0
+        assert buddy.alloc_block(0) == 1
+
+    def test_alloc_block_alignment(self):
+        buddy = make_allocator()
+        for order in (0, 3, 7, MAX_ORDER):
+            pfn = buddy.alloc_block(order)
+            assert pfn % (1 << order) == 0
+
+    def test_alloc_out_of_range_order(self):
+        buddy = make_allocator()
+        with pytest.raises(AllocationError):
+            buddy.alloc_block(MAX_ORDER + 1)
+
+    def test_exhaustion(self):
+        buddy = make_allocator(1 << MAX_ORDER)
+        buddy.alloc_block(MAX_ORDER)
+        with pytest.raises(AllocationError):
+            buddy.alloc_block(0)
+
+
+class TestFreeAndCoalesce:
+    def test_free_restores_count(self):
+        buddy = make_allocator()
+        pfn = buddy.alloc_block(4)
+        assert buddy.free_pages == PAGES - 16
+        buddy.free_block(pfn, 4)
+        assert buddy.free_pages == PAGES
+
+    def test_buddies_coalesce_to_max_order(self):
+        buddy = make_allocator()
+        pfns = [buddy.alloc_block(0) for _ in range(1 << MAX_ORDER)]
+        for pfn in pfns:
+            buddy.free_block(pfn, 0)
+        assert len(buddy.free_blocks(MAX_ORDER)) == PAGES >> MAX_ORDER
+        for order in range(MAX_ORDER):
+            assert not buddy.free_blocks(order)
+
+    def test_double_free_rejected(self):
+        buddy = make_allocator()
+        pfn = buddy.alloc_block(2)
+        buddy.free_block(pfn, 2)
+        with pytest.raises(AllocationError):
+            buddy.free_block(pfn, 2)
+
+    def test_free_with_wrong_order_rejected(self):
+        buddy = make_allocator()
+        pfn = buddy.alloc_block(2)
+        with pytest.raises(AllocationError):
+            buddy.free_block(pfn, 3)
+
+
+class TestAllocPages:
+    def test_exact_total(self):
+        buddy = make_allocator()
+        blocks = buddy.alloc_pages(1000)
+        assert sum(1 << order for _pfn, order in blocks) == 1000
+
+    def test_all_or_nothing(self):
+        buddy = make_allocator(1 << MAX_ORDER)
+        with pytest.raises(AllocationError):
+            buddy.alloc_pages((1 << MAX_ORDER) + 1)
+        assert buddy.free_pages == 1 << MAX_ORDER  # rolled back
+
+    def test_rejects_zero(self):
+        with pytest.raises(AllocationError):
+            make_allocator().alloc_pages(0)
+
+
+class TestIsolation:
+    def test_isolated_range_not_allocatable(self):
+        buddy = make_allocator()
+        half = PAGES // 2
+        removed = buddy.isolate_range(half, half)
+        assert buddy.free_pages == half
+        # Everything allocated from now on is below the isolated range.
+        blocks = buddy.alloc_pages(half)
+        assert all(pfn < half for pfn, _order in blocks)
+        assert sum(1 << o for _p, o in removed) == half
+
+    def test_undo_isolation_restores(self):
+        buddy = make_allocator()
+        removed = buddy.isolate_range(0, PAGES)
+        assert buddy.free_pages == 0
+        buddy.undo_isolation(removed)
+        assert buddy.free_pages == PAGES
+
+    def test_isolation_skips_allocated(self):
+        buddy = make_allocator()
+        buddy.alloc_block(MAX_ORDER)  # pfn 0
+        removed = buddy.isolate_range(0, 2 << MAX_ORDER)
+        assert sum(1 << o for _p, o in removed) == 1 << MAX_ORDER
+
+    def test_misaligned_isolation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_allocator().isolate_range(1, 100)
+
+    def test_free_pages_in_range(self):
+        buddy = make_allocator()
+        buddy.alloc_pages(100)
+        counted = buddy.free_pages_in_range(0, PAGES)
+        assert counted == PAGES - 100
+
+    def test_add_range(self):
+        buddy = make_allocator()
+        removed = buddy.isolate_range(0, 1 << MAX_ORDER)
+        assert removed
+        buddy.add_range(0, 1 << MAX_ORDER)
+        assert buddy.free_pages == PAGES
+
+
+class TestSplitAndRemove:
+    def test_split_allocated(self):
+        buddy = make_allocator()
+        pfn = buddy.alloc_block(3)
+        buddy.split_allocated(pfn, 3)
+        buddy.free_block(pfn, 2)
+        buddy.free_block(pfn + 4, 2)
+        assert buddy.free_pages == PAGES
+
+    def test_split_order0_rejected(self):
+        buddy = make_allocator()
+        pfn = buddy.alloc_block(0)
+        with pytest.raises(AllocationError):
+            buddy.split_allocated(pfn, 0)
+
+    def test_remove_allocated(self):
+        buddy = make_allocator()
+        pfn = buddy.alloc_block(5)
+        buddy.remove_allocated(pfn, 5)
+        with pytest.raises(AllocationError):
+            buddy.free_block(pfn, 5)
+
+    def test_remove_mismatched_rejected(self):
+        buddy = make_allocator()
+        pfn = buddy.alloc_block(5)
+        with pytest.raises(AllocationError):
+            buddy.remove_allocated(pfn, 4)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=1, max_value=2000),
+                    min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_conservation_under_alloc_free(self, sizes):
+        """Total pages are conserved by any alloc/free sequence."""
+        buddy = make_allocator()
+        held = []
+        for size in sizes:
+            try:
+                held.append(buddy.alloc_pages(size))
+            except AllocationError:
+                break
+        allocated = sum(1 << o for blocks in held for _p, o in blocks)
+        assert buddy.free_pages == PAGES - allocated
+        for blocks in held:
+            for pfn, order in blocks:
+                buddy.free_block(pfn, order)
+        assert buddy.free_pages == PAGES
+        assert len(buddy.free_blocks(MAX_ORDER)) == PAGES >> MAX_ORDER
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_no_overlapping_allocations(self, data):
+        """No two live extents ever overlap."""
+        buddy = make_allocator(1 << 12)
+        rng = random.Random(data.draw(st.integers(0, 2 ** 16)))
+        live = {}
+        for _step in range(60):
+            if rng.random() < 0.6 or not live:
+                order = rng.randrange(0, 6)
+                try:
+                    pfn = buddy.alloc_block(order)
+                except AllocationError:
+                    continue
+                live[pfn] = order
+            else:
+                pfn = rng.choice(list(live))
+                buddy.free_block(pfn, live.pop(pfn))
+            covered = set()
+            for pfn, order in live.items():
+                span = set(range(pfn, pfn + (1 << order)))
+                assert not span & covered
+                covered |= span

@@ -1,0 +1,209 @@
+"""Physical memory manager: allocation, zones, accounting, migration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.os.mm import PhysicalMemoryManager
+from repro.os.page import OwnerKind
+from repro.os.zones import ZoneKind
+from repro.units import GIB, MIB, PAGE_SIZE
+
+
+def make_mm(total=4 * GIB, movable=0.75) -> PhysicalMemoryManager:
+    return PhysicalMemoryManager(total_bytes=total, block_bytes=128 * MIB,
+                                 movable_fraction=movable)
+
+
+class TestConstruction:
+    def test_block_and_page_counts(self, small_mm):
+        assert small_mm.total_pages == 4 * GIB // PAGE_SIZE
+        assert small_mm.num_blocks == 32
+        assert small_mm.block_pages == 32768
+
+    def test_rejects_misaligned_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalMemoryManager(total_bytes=4 * GIB + MIB,
+                                  block_bytes=128 * MIB)
+
+    def test_rejects_tiny_blocks(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalMemoryManager(total_bytes=4 * GIB, block_bytes=MIB)
+
+    def test_zone_split(self, small_mm):
+        kinds = [z.kind for z in small_mm.zones]
+        assert kinds == [ZoneKind.NORMAL, ZoneKind.MOVABLE]
+        movable = small_mm.zones[1]
+        assert movable.pages == pytest.approx(0.75 * small_mm.total_pages, rel=0.01)
+
+
+class TestAllocation:
+    def test_allocate_and_count(self, small_mm):
+        small_mm.allocate("a", 1000)
+        assert small_mm.used_pages == 1000
+        assert small_mm.owner_pages("a") == 1000
+
+    def test_user_goes_to_movable_zone_first(self, small_mm):
+        extents = small_mm.allocate("a", 100)
+        movable = small_mm.zones[1]
+        assert all(movable.contains(e.pfn) for e in extents)
+
+    def test_kernel_confined_to_normal_zone(self, small_mm):
+        extents = small_mm.allocate("kernel", 100, kind=OwnerKind.KERNEL)
+        normal = small_mm.zones[0]
+        assert all(normal.contains(e.pfn) for e in extents)
+
+    def test_pinned_lands_in_movable_zone(self, small_mm):
+        """The Section 5.2 leak: pinned pages sit in movable blocks."""
+        extents = small_mm.allocate("driver", 8, kind=OwnerKind.PINNED)
+        movable = small_mm.zones[1]
+        assert all(movable.contains(e.pfn) for e in extents)
+        assert all(not e.movable for e in extents)
+
+    def test_user_overflows_into_normal_zone(self, small_mm):
+        movable_pages = small_mm.zones[1].pages
+        small_mm.allocate("big", movable_pages + 10)
+        assert small_mm.owner_pages("big") == movable_pages + 10
+
+    def test_kernel_cannot_use_movable_zone(self, small_mm):
+        normal_pages = small_mm.zones[0].pages
+        with pytest.raises(AllocationError):
+            small_mm.allocate("kernel", normal_pages + 1,
+                              kind=OwnerKind.KERNEL)
+
+    def test_allocation_failure_rolls_back(self, small_mm):
+        with pytest.raises(AllocationError):
+            small_mm.allocate("huge", small_mm.total_pages + 1)
+        assert small_mm.used_pages == 0
+
+    def test_zero_pages_rejected(self, small_mm):
+        with pytest.raises(AllocationError):
+            small_mm.allocate("a", 0)
+
+
+class TestFreeing:
+    def test_free_all(self, small_mm):
+        small_mm.allocate("a", 5000)
+        assert small_mm.free_all("a") == 5000
+        assert small_mm.used_pages == 0
+        assert small_mm.owner_pages("a") == 0
+
+    def test_partial_free_exact(self, small_mm):
+        small_mm.allocate("a", 10000)
+        freed = small_mm.free_pages_of("a", 3333)
+        assert freed == 3333
+        assert small_mm.owner_pages("a") == 6667
+
+    def test_partial_free_prefers_high_addresses(self, small_mm):
+        small_mm.allocate("a", 4096)
+        before = {e.pfn for e in small_mm.extents_of("a")}
+        small_mm.free_pages_of("a", 2048)
+        after = {e.pfn for e in small_mm.extents_of("a")}
+        assert min(before) in {e for e in after} or min(after) <= min(before)
+        assert max(after) < max(before)
+
+    def test_free_more_than_held(self, small_mm):
+        small_mm.allocate("a", 100)
+        assert small_mm.free_pages_of("a", 1000) == 100
+
+    def test_free_unknown_owner_is_zero(self, small_mm):
+        assert small_mm.free_all("ghost") == 0
+        assert small_mm.free_pages_of("ghost", 10) == 0
+
+    def test_free_unknown_extent_rejected(self, small_mm):
+        with pytest.raises(AllocationError):
+            small_mm.free_extent(12345)
+
+    @given(st.integers(min_value=1, max_value=9999))
+    @settings(max_examples=30, deadline=None)
+    def test_alloc_free_roundtrip_conserves(self, n):
+        mm = make_mm()
+        mm.allocate("x", 10000)
+        mm.free_pages_of("x", n)
+        assert mm.owner_pages("x") == 10000 - n
+        assert mm.used_pages == 10000 - n
+        mm.free_all("x")
+        assert mm.free_pages == mm.total_pages
+
+
+class TestBlockAccounting:
+    def test_used_pages_tracked_per_block(self, small_mm):
+        small_mm.allocate("a", small_mm.block_pages)
+        used_blocks = [i for i in range(small_mm.num_blocks)
+                       if not small_mm.block_is_free(i)]
+        total_used = sum(small_mm.block_accounting(i).used_pages
+                         for i in used_blocks)
+        assert total_used == small_mm.block_pages
+
+    def test_removable_flag(self, small_mm):
+        extents = small_mm.allocate("driver", 8, kind=OwnerKind.PINNED)
+        block = extents[0].pfn // small_mm.block_pages
+        assert not small_mm.block_is_removable(block)
+        small_mm.free_all("driver")
+        assert small_mm.block_is_removable(block)
+
+    def test_user_pages_keep_block_removable(self, small_mm):
+        extents = small_mm.allocate("a", 8)
+        block = extents[0].pfn // small_mm.block_pages
+        assert small_mm.block_is_removable(block)
+        assert not small_mm.block_is_free(block)
+
+    def test_block_range(self, small_mm):
+        start, count = small_mm.block_range(3)
+        assert start == 3 * small_mm.block_pages
+        assert count == small_mm.block_pages
+
+    def test_block_range_validates(self, small_mm):
+        with pytest.raises(ConfigurationError):
+            small_mm.block_range(small_mm.num_blocks)
+
+    def test_zone_kind_of_block(self, small_mm):
+        assert small_mm.zone_kind_of_block(0) is ZoneKind.NORMAL
+        assert small_mm.zone_kind_of_block(
+            small_mm.num_blocks - 1) is ZoneKind.MOVABLE
+
+
+class TestMigration:
+    def test_migrate_block_out_moves_everything(self, small_mm):
+        extents = small_mm.allocate("a", 500)
+        block = extents[0].pfn // small_mm.block_pages
+        isolated = small_mm.isolate_block(block)
+        moved = small_mm.migrate_block_out(block, isolated)
+        assert moved >= 1
+        assert small_mm.block_is_free(block)
+        assert small_mm.owner_pages("a") == 500  # data preserved elsewhere
+
+    def test_migrate_refuses_unmovable(self, small_mm):
+        extents = small_mm.allocate("drv", 8, kind=OwnerKind.PINNED)
+        block = extents[0].pfn // small_mm.block_pages
+        isolated = small_mm.isolate_block(block)
+        with pytest.raises(AllocationError):
+            small_mm.migrate_block_out(block, isolated)
+        small_mm.undo_isolate_block(block, isolated)
+
+    def test_migration_fails_without_destination(self):
+        mm = make_mm()
+        mm.allocate("fill", mm.total_pages - 100)
+        # Any used block has nowhere to migrate to now.
+        target = next(i for i in range(mm.num_blocks)
+                      if not mm.block_is_free(i))
+        isolated = mm.isolate_block(target)
+        with pytest.raises(AllocationError):
+            mm.migrate_block_out(target, isolated)
+        mm.undo_isolate_block(target, isolated)
+        assert mm.used_pages == mm.total_pages - 100
+
+
+class TestMeminfo:
+    def test_snapshot_consistency(self, small_mm):
+        small_mm.allocate("a", 12345)
+        info = small_mm.meminfo()
+        assert info.total_pages == small_mm.total_pages
+        assert info.used_pages == 12345
+        assert info.free_pages == info.total_pages - 12345
+        assert info.utilization == pytest.approx(12345 / info.total_pages)
+
+    def test_render_mentions_fields(self, small_mm):
+        text = small_mm.meminfo().render()
+        for field in ("MemTotal", "MemFree", "MemUsed", "MemOffline"):
+            assert field in text

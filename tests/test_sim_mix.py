@@ -1,0 +1,64 @@
+"""Co-located multi-workload runs."""
+
+import pytest
+
+from repro.core.config import GreenDIMMConfig
+from repro.core.system import GreenDIMMSystem
+from repro.errors import ConfigurationError
+from repro.sim.server import ServerSimulator
+from repro.units import GIB, MIB, PAGE_SIZE
+from repro.workloads import profile_by_name
+
+MIX = ("403.gcc", "453.povray", "429.mcf")
+
+
+@pytest.fixture(scope="module")
+def mix_run():
+    system = GreenDIMMSystem(config=GreenDIMMConfig(block_bytes=128 * MIB),
+                             transient_failure_probability=0.5, seed=8)
+    simulator = ServerSimulator(system, seed=8)
+    profiles = [profile_by_name(name) for name in MIX]
+    return simulator.run_mix(profiles, epoch_s=2.0), simulator
+
+
+class TestMixRun:
+    def test_all_profiles_tracked(self, mix_run):
+        result, _sim = mix_run
+        assert result.profile_names == list(MIX)
+        assert set(result.overhead_by_profile) == set(MIX)
+
+    def test_footprints_coexist(self, mix_run):
+        result, sim = mix_run
+        owners = [o for o in sim.system.mm.owners() if o.startswith("mix")]
+        assert len(owners) == len(MIX)
+        total = sum(sim.system.mm.owner_pages(o) for o in owners)
+        last_resize_t = result.samples[-1].time_s  # duration - epoch
+        expected = sum(
+            profile_by_name(n).footprint.at(last_resize_t) // PAGE_SIZE
+            for n in MIX)
+        assert total == pytest.approx(expected, rel=0.02)
+
+    def test_energy_saved_under_colocation(self, mix_run):
+        result, _sim = mix_run
+        assert result.dram_energy_saving > 0.3
+
+    def test_overheads_follow_sensitivity(self, mix_run):
+        result, _sim = mix_run
+        # mcf (MPKI 65) must suffer at least as much as povray (MPKI 0.3)
+        # from the same shared event stream.
+        assert (result.overhead_by_profile["429.mcf"]
+                >= result.overhead_by_profile["453.povray"])
+
+    def test_no_swap_on_big_server(self, mix_run):
+        result, _sim = mix_run
+        assert result.swap_stall_s == 0.0
+
+    def test_event_counts_positive(self, mix_run):
+        result, _sim = mix_run
+        assert result.offline_events > 0
+        assert result.online_events > 0
+
+    def test_empty_mix_rejected(self):
+        system = GreenDIMMSystem(seed=9)
+        with pytest.raises(ConfigurationError):
+            ServerSimulator(system, seed=9).run_mix([])

@@ -1,0 +1,112 @@
+"""Epoch server simulator: workload runs and VM-trace replays."""
+
+import pytest
+
+from repro.core.config import GreenDIMMConfig
+from repro.core.system import GreenDIMMSystem
+from repro.dram.device import DDR4_4GB_X8
+from repro.dram.organization import MemoryOrganization
+from repro.sim.server import ServerSimulator
+from repro.units import GIB, MIB
+from repro.workloads import profile_by_name
+from repro.workloads.azure import AzureTraceGenerator, AzureVMCatalog
+
+
+def small_simulator(enable_ksm=False, seed=5, **config_kwargs):
+    org = MemoryOrganization(device=DDR4_4GB_X8, channels=1,
+                             dimms_per_channel=2, ranks_per_dimm=1)  # 8GB
+    config = GreenDIMMConfig(block_bytes=128 * MIB, **config_kwargs)
+    system = GreenDIMMSystem(organization=org, config=config,
+                             kernel_boot_bytes=512 * MIB,
+                             enable_ksm=enable_ksm,
+                             transient_failure_probability=0.5, seed=seed)
+    return ServerSimulator(system, seed=seed)
+
+
+class TestWorkloadRun:
+    def test_mcf_run_produces_savings(self):
+        sim = small_simulator()
+        result = sim.run_workload(profile_by_name("429.mcf"))
+        assert result.elapsed_s == 600.0
+        assert len(result.samples) == 600
+        assert result.dram_energy_saving > 0.15
+        mean_dpd = sum(s.dpd_fraction for s in result.samples) / 600
+        assert mean_dpd > 0.4  # over half the capacity sits gated
+        assert result.overhead_fraction < 0.035
+        assert result.runtime_s > result.elapsed_s
+
+    def test_oscillating_footprint_generates_events(self):
+        sim = small_simulator()
+        result = sim.run_workload(profile_by_name("403.gcc"))
+        assert result.offline_events > 5
+        assert result.online_events > 5
+
+    def test_stable_footprint_generates_few_events(self):
+        sim = small_simulator()
+        gcc = small_simulator().run_workload(profile_by_name("403.gcc"))
+        mcf = sim.run_workload(profile_by_name("429.mcf"))
+        assert mcf.offline_events < gcc.offline_events
+
+    def test_app_memory_is_preserved(self):
+        sim = small_simulator()
+        profile = profile_by_name("429.mcf")
+        result = sim.run_workload(profile)
+        from repro.units import PAGE_SIZE
+        expected = profile.footprint.at(profile.duration_s) // PAGE_SIZE
+        assert sim.system.mm.owner_pages("app") == pytest.approx(
+            expected, rel=0.02)
+        assert result.swap_shortfall_pages == 0
+
+    def test_offline_capacity_tracks_footprint(self):
+        sim = small_simulator()
+        result = sim.run_workload(profile_by_name("429.mcf"))
+        high_fp = [s.offline_blocks for s in result.samples
+                   if 100 < s.time_s < 500]
+        late = [s.offline_blocks for s in result.samples if s.time_s > 590]
+        # mcf releases ~0.8GB near the end: more blocks offline afterwards.
+        assert max(late) > min(high_fp)
+
+    def test_failures_recorded(self):
+        sim = small_simulator()
+        result = sim.run_workload(profile_by_name("403.gcc"))
+        assert result.ebusy_failures + result.eagain_failures >= 0
+        assert result.offlined_bytes_total >= result.offline_events * 128 * MIB
+
+
+class TestVMTraceRun:
+    @pytest.fixture(scope="class")
+    def vm_result(self):
+        org = MemoryOrganization(device=DDR4_4GB_X8, channels=2,
+                                 dimms_per_channel=2, ranks_per_dimm=2)  # 32GB
+        config = GreenDIMMConfig(block_bytes=512 * MIB)
+        system = GreenDIMMSystem(organization=org, config=config,
+                                 kernel_boot_bytes=GIB,
+                                 transient_failure_probability=0.5, seed=9)
+        sim = ServerSimulator(system, seed=9)
+        trace = AzureTraceGenerator(
+            capacity_bytes=org.total_capacity_bytes - 4 * GIB,
+            physical_cores=16,
+            catalog=AzureVMCatalog(num_types=40, seed=1),
+            duration_s=4 * 3600.0, seed=2).generate()
+        return sim.run_vm_trace(trace, epoch_s=5.0), system
+
+    def test_blocks_cycle_with_load(self, vm_result):
+        result, _system = vm_result
+        assert result.max_offline_blocks > result.min_offline_blocks
+        assert 0 < result.mean_offline_blocks < result.total_blocks
+
+    def test_energy_saved(self, vm_result):
+        result, _system = vm_result
+        assert result.dram_energy_saving > 0.10
+
+    def test_background_reduction_tracks_dpd(self, vm_result):
+        result, _system = vm_result
+        assert result.background_power_reduction == pytest.approx(
+            result.mean_dpd_fraction, rel=0.1)
+
+    def test_vms_freed_on_departure(self, vm_result):
+        _result, system = vm_result
+        owners = [o for o in system.mm.owners() if o.startswith("vm")]
+        # Some VMs may still be running at the end, but the majority of
+        # arrivals departed and released their memory.
+        assert len(owners) < 40

@@ -1,0 +1,96 @@
+"""Unit helpers."""
+
+import pytest
+
+from repro import units
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    PAGE_SIZE,
+    format_bytes,
+    gib,
+    is_power_of_two,
+    log2_int,
+    mib,
+    pages_of,
+    to_gib,
+    to_mib,
+)
+
+
+def test_binary_prefixes_are_powers_of_1024():
+    assert KIB == 1024
+    assert MIB == 1024 * KIB
+    assert GIB == 1024 * MIB
+    assert units.TIB == 1024 * GIB
+
+
+def test_page_size_is_4k():
+    assert PAGE_SIZE == 4096
+
+
+def test_default_memory_block_is_128mib():
+    assert units.DEFAULT_MEMORY_BLOCK_SIZE == 128 * MIB
+
+
+def test_mib_gib_constructors():
+    assert mib(128) == 128 * MIB
+    assert gib(2) == 2 * GIB
+    assert mib(0.5) == MIB // 2
+
+
+def test_to_gib_roundtrip():
+    assert to_gib(gib(64)) == 64.0
+    assert to_mib(mib(3)) == 3.0
+
+
+def test_pages_of_exact():
+    assert pages_of(128 * MIB) == 32768
+
+
+def test_pages_of_rejects_misaligned():
+    with pytest.raises(ValueError):
+        pages_of(PAGE_SIZE + 1)
+
+
+@pytest.mark.parametrize("n,expected", [
+    (1, True), (2, True), (1024, True), (0, False), (3, False), (-4, False),
+])
+def test_is_power_of_two(n, expected):
+    assert is_power_of_two(n) is expected
+
+
+def test_log2_int():
+    assert log2_int(1) == 0
+    assert log2_int(65536) == 16
+
+
+def test_log2_int_rejects_non_power():
+    with pytest.raises(ValueError):
+        log2_int(12)
+
+
+@pytest.mark.parametrize("n,text", [
+    (128 * MIB, "128MiB"),
+    (GIB, "1GiB"),
+    (512, "512B"),
+    (3 * units.TIB, "3TiB"),
+])
+def test_format_bytes_exact(n, text):
+    assert format_bytes(n) == text
+
+
+def test_format_bytes_prefers_exact_smaller_unit():
+    assert format_bytes(GIB + GIB // 2) == "1536MiB"
+
+
+def test_format_bytes_fractional():
+    assert format_bytes(int(2.5 * GIB) + 7) == "2.50GiB"
+
+
+def test_time_units():
+    assert units.MILLISECOND == 1e-3
+    assert units.MICROSECOND == 1e-6
+    assert units.NANOSECOND == 1e-9
+    assert units.HOUR == 3600.0
