@@ -3,46 +3,72 @@
 A breadth regression beyond the paper's selected set: every profile in
 the catalog must show non-negative DRAM savings and overhead inside the
 paper's <3.5% band.
+
+The per-profile simulations are independent, so the sweep fans them out
+through :func:`repro.runner.fan_out`; set ``GREENDIMM_BENCH_PARALLEL``
+to a worker count (default 1 = serial) and the per-profile wall times
+land in ``results/suite_sweep_metrics.jsonl``.
 """
 
-from conftest import emit
+from __future__ import annotations
+
+import functools
+import os
+
+from conftest import RESULTS_DIR, emit
 
 from repro.analysis.report import Table
 from repro.core.config import GreenDIMMConfig
 from repro.core.system import GreenDIMMSystem
 from repro.experiments.blocksize_study import study_organization
 from repro.experiments.common import ExperimentResult
+from repro.runner import MetricsBus, fan_out
 from repro.sim.server import ServerSimulator
 from repro.units import MIB
 from repro.workloads.datacenter import DATACENTER_PROFILES
 from repro.workloads.spec import SPEC_PROFILES
 
 
+def _sweep_one(item, fast: bool = True):
+    """One profile's run — module-level so it pickles into workers."""
+    index, name, profile = item
+    system = GreenDIMMSystem(
+        organization=study_organization(),
+        config=GreenDIMMConfig(block_bytes=128 * MIB),
+        kernel_boot_bytes=512 * MIB,
+        transient_failure_probability=0.6, seed=300 + index)
+    simulator = ServerSimulator(system, seed=300 + index)
+    result = simulator.run_workload(profile, epoch_s=2.0 if fast else 1.0)
+    return (name, profile.suite.value, result.offline_events,
+            result.online_events, result.dram_energy_saving,
+            result.overhead_fraction)
+
+
 def run_sweep(fast: bool = True) -> ExperimentResult:
     profiles = dict(SPEC_PROFILES)
     if not fast:
         profiles.update(DATACENTER_PROFILES)
+    items = [(index, name, profile)
+             for index, (name, profile) in enumerate(sorted(profiles.items()))
+             if profile.peak_footprint_bytes <= 6 * (1 << 30)]
+
+    workers = int(os.environ.get("GREENDIMM_BENCH_PARALLEL", "1"))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    metrics = MetricsBus(path=RESULTS_DIR / "suite_sweep_metrics.jsonl")
+    rows = fan_out(functools.partial(_sweep_one, fast=fast), items,
+                   workers=workers, metrics=metrics,
+                   label=lambda item: item[1])
+
     table = Table("Catalog sweep — GreenDIMM on every profile (8GB server)",
                   ["application", "suite", "offline ev", "online ev",
                    "energy saved", "overhead"])
     savings = {}
     overheads = {}
-    for index, (name, profile) in enumerate(sorted(profiles.items())):
-        if profile.peak_footprint_bytes > 6 * (1 << 30):
-            continue  # larger than the sweep platform can host
-        system = GreenDIMMSystem(
-            organization=study_organization(),
-            config=GreenDIMMConfig(block_bytes=128 * MIB),
-            kernel_boot_bytes=512 * MIB,
-            transient_failure_probability=0.6, seed=300 + index)
-        simulator = ServerSimulator(system, seed=300 + index)
-        result = simulator.run_workload(profile, epoch_s=2.0 if fast else 1.0)
-        savings[name] = result.dram_energy_saving
-        overheads[name] = result.overhead_fraction
-        table.add_row(name, profile.suite.value, result.offline_events,
-                      result.online_events,
-                      f"{result.dram_energy_saving:.1%}",
-                      f"{result.overhead_fraction:.2%}")
+    for name, suite, offline_ev, online_ev, saving, overhead in rows:
+        savings[name] = saving
+        overheads[name] = overhead
+        table.add_row(name, suite, offline_ev, online_ev,
+                      f"{saving:.1%}", f"{overhead:.2%}")
     return ExperimentResult(
         experiment="suite_sweep",
         description="breadth regression over the whole workload catalog",

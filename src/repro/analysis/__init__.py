@@ -1,11 +1,15 @@
-"""Result rendering and paper-reference data.
+"""Result rendering, paper-reference data, and suite aggregation.
 
 ``report`` renders text tables/series the way the benchmark harness
 prints them; ``paper`` holds the published numbers for every table and
-figure so each bench can print paper-vs-measured side by side.
+figure so each bench can print paper-vs-measured side by side;
+``aggregate`` folds the parallel runner's out-of-order job outcomes
+into a canonical suite summary.
 """
 
+from repro.analysis.aggregate import SuiteAggregator
 from repro.analysis.report import Table, render_series, fmt_pct, fmt_w
 from repro.analysis.paper import PAPER
 
-__all__ = ["Table", "render_series", "fmt_pct", "fmt_w", "PAPER"]
+__all__ = ["SuiteAggregator", "Table", "render_series", "fmt_pct",
+           "fmt_w", "PAPER"]

@@ -1,0 +1,96 @@
+"""Suite-level aggregation of runner outcomes.
+
+The parallel engine completes jobs in whatever order the pool produces;
+this aggregator accepts outcomes as they land — any order, any time —
+and renders a canonical, deterministic summary: rows follow the
+registry's experiment order (then name order for strays), so a serial
+run and an 8-worker run of the same suite print byte-identical
+summaries apart from the timing columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import Table
+
+
+class SuiteAggregator:
+    """Collects job outcomes out-of-order; renders them canonically."""
+
+    def __init__(self, canonical_order: Optional[Sequence[str]] = None):
+        if canonical_order is None:
+            from repro.experiments.registry import runners
+
+            canonical_order = list(runners())
+        self._rank = {name: i for i, name in enumerate(canonical_order)}
+        self._outcomes: List[object] = []
+
+    # --- collection --------------------------------------------------------
+
+    def add(self, outcome) -> None:
+        """Accept one :class:`~repro.runner.engine.JobOutcome`, any order."""
+        self._outcomes.append(outcome)
+
+    def extend(self, outcomes) -> None:
+        for outcome in outcomes:
+            self.add(outcome)
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    # --- canonical views ---------------------------------------------------
+
+    def sorted_outcomes(self) -> List[object]:
+        """Outcomes in registry order, however they arrived."""
+        return sorted(
+            self._outcomes,
+            key=lambda o: (self._rank.get(o.job.experiment, len(self._rank)),
+                           o.job.experiment))
+
+    def results(self) -> Dict[str, object]:
+        """experiment id -> ExperimentResult for every successful job."""
+        return {o.job.experiment: o.result
+                for o in self.sorted_outcomes() if o.ok}
+
+    def failures(self) -> Dict[str, str]:
+        """experiment id -> error text for every failed job."""
+        return {o.job.experiment: o.error or "unknown error"
+                for o in self.sorted_outcomes() if not o.ok}
+
+    # --- reporting ---------------------------------------------------------
+
+    def measured(self) -> Dict[str, object]:
+        """Aggregate counters, the suite's paper-vs-measured analogue."""
+        outcomes = self._outcomes
+        hits = sum(1 for o in outcomes if o.cached)
+        return {
+            "jobs": len(outcomes),
+            "succeeded": sum(1 for o in outcomes if o.ok),
+            "failed": sum(1 for o in outcomes if not o.ok),
+            "cache_hits": hits,
+            "cache_misses": len(outcomes) - hits,
+            "busy_wall_s": sum(o.wall_s for o in outcomes),
+        }
+
+    def summary_table(self) -> Table:
+        table = Table("Experiment suite summary",
+                      ["experiment", "status", "source", "wall"])
+        for outcome in self.sorted_outcomes():
+            status = "ok" if outcome.ok else "FAILED"
+            source = "cache" if outcome.cached else "run"
+            table.add_row(outcome.job.experiment, status, source,
+                          f"{outcome.wall_s:.2f}s")
+        return table
+
+    def render(self) -> str:
+        measured = self.measured()
+        lines = [self.summary_table().render(),
+                 (f"{measured['jobs']} jobs: {measured['succeeded']} ok, "
+                  f"{measured['failed']} failed; "
+                  f"{measured['cache_hits']} cached, "
+                  f"{measured['cache_misses']} executed "
+                  f"({measured['busy_wall_s']:.2f}s busy)")]
+        for name, error in self.failures().items():
+            lines.append(f"{name}: {error}")
+        return "\n\n".join(lines)

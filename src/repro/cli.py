@@ -4,7 +4,8 @@ Commands
 --------
 list-workloads          the synthetic workload catalog
 list-experiments        every reproducible table/figure
-run EXPERIMENT [--fast] regenerate one table/figure
+run EXPERIMENT... [--fast] [--parallel N] [--cache-dir DIR]
+                        regenerate tables/figures (``all`` = whole suite)
 simulate WORKLOAD       run a workload under the GreenDIMM daemon
 topology [--capacity]   show a platform's geometry and power envelope
 """
@@ -62,14 +63,36 @@ def cmd_list_experiments(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis.aggregate import SuiteAggregator
+    from repro.runner import (
+        MetricsBus,
+        ParallelRunner,
+        ResultCache,
+        suite_jobs,
+    )
+
     runners = _experiment_runners()
-    if args.experiment not in runners:
-        print(f"unknown experiment {args.experiment!r}; "
+    requested = args.experiments
+    unknown = [n for n in requested if n != "all" and n not in runners]
+    if unknown:
+        print(f"unknown experiment {unknown[0]!r}; "
               f"try: {', '.join(runners)}", file=sys.stderr)
         return 2
-    result = runners[args.experiment](fast=args.fast)
-    print(result.render())
-    return 0
+
+    jobs = suite_jobs(requested, fast=args.fast)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    metrics = MetricsBus(path=args.metrics)
+    engine = ParallelRunner(workers=args.parallel, cache=cache,
+                            metrics=metrics)
+    aggregator = SuiteAggregator(canonical_order=list(runners))
+    aggregator.extend(engine.run(jobs))
+
+    for result in aggregator.results().values():
+        print(result.render())
+        print()
+    if len(jobs) > 1 or aggregator.failures():
+        print(aggregator.render())
+    return 0 if not aggregator.failures() else 1
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -139,10 +162,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-workloads").set_defaults(func=cmd_list_workloads)
     sub.add_parser("list-experiments").set_defaults(func=cmd_list_experiments)
 
-    run_p = sub.add_parser("run", help="regenerate one table/figure")
-    run_p.add_argument("experiment")
+    run_p = sub.add_parser(
+        "run", help="regenerate tables/figures ('all' = whole suite)")
+    run_p.add_argument("experiments", nargs="+", metavar="experiment")
     run_p.add_argument("--fast", action="store_true",
                        help="shrink trace lengths")
+    run_p.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="worker processes (1 = serial reference path)")
+    run_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="memoize results on disk, keyed by "
+                            "(experiment, config, code version)")
+    run_p.add_argument("--metrics", default=None, metavar="FILE",
+                       help="append per-job JSONL metrics to FILE")
     run_p.set_defaults(func=cmd_run)
 
     sim_p = sub.add_parser("simulate", help="run a workload under GreenDIMM")

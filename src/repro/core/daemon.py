@@ -76,6 +76,15 @@ class GreenDIMMDaemon:
         self.selector = BlockSelector(hotplug, self.config.selection,
                                       rng or random.Random(29))
         self.stats = DaemonStats()
+        if self.config.on_thr_fraction >= self.config.off_thr_fraction:
+            raise ConfigurationError(
+                "on_thr must stay below off_thr for hysteresis")
+        if self.low_water_pages >= self.reserve_pages:
+            raise ConfigurationError(
+                f"on_thr and off_thr collapse to the same page count "
+                f"({self.low_water_pages} >= {self.reserve_pages}) on this "
+                f"{self.mm.total_pages}-page platform; widen the hysteresis "
+                f"band or use a larger capacity")
         #: Bounded event history; oldest entries are dropped.
         self.event_log: Deque[DaemonEvent] = collections.deque(maxlen=20_000)
         self._since_monitor_s = math.inf  # fire on the first step
@@ -88,13 +97,17 @@ class GreenDIMMDaemon:
 
     @property
     def reserve_pages(self) -> int:
-        """Free pages that must stay on-lined (off_thr x installed)."""
-        return int(self.config.off_thr_fraction * self.mm.total_pages)
+        """Free pages that must stay on-lined (off_thr x installed).
+
+        Rounded to the nearest page (matching ``low_water_pages``) so
+        the two thresholds cannot drift apart by a flooring artefact.
+        """
+        return round(self.config.off_thr_fraction * self.mm.total_pages)
 
     @property
     def low_water_pages(self) -> int:
         """Free-page level that triggers on-lining (on_thr x installed)."""
-        return int(self.config.on_thr_fraction * self.mm.total_pages)
+        return round(self.config.on_thr_fraction * self.mm.total_pages)
 
     # --- public stepping ---------------------------------------------------
 
@@ -154,12 +167,15 @@ class GreenDIMMDaemon:
             if not offline:
                 break
             block = min(offline)
+            # The wake-up poll (Section 4.3) is controller wait, not
+            # daemon CPU time: it lands in wakeup_wait_s only, so
+            # cpu_overhead_fraction reflects cycles actually consumed.
             wait_s = self.power_control.prepare_online(block, now_s)
             self.stats.wakeup_wait_s += wait_s
             latency = self.hotplug.online_block(block)
             self.power_control.block_onlined(block, now_s)
-            self.stats.busy_s += wait_s + latency
-            self.stats.busy_online_s += wait_s + latency
+            self.stats.busy_s += latency
+            self.stats.busy_online_s += latency
             self.stats.online_events += 1
             self.stats.onlined_bytes_total += self.config.block_bytes
             self.event_log.append(DaemonEvent(now_s, "online", block))

@@ -1,0 +1,34 @@
+"""Parallel experiment execution with on-disk result memoization.
+
+The runner takes jobs from :mod:`repro.experiments.registry`, fans them
+out over a process pool (``workers > 1``) or runs them inline
+(``workers == 1`` — the serial reference path), and caches every
+finished :class:`~repro.experiments.common.ExperimentResult` in a
+content-addressed on-disk store keyed by (experiment id, job config,
+code version).  Re-running an unchanged experiment is a cache hit and
+skips the simulation entirely.
+
+Layout
+------
+``jobs``     job descriptions + deterministic per-job seeding
+``cache``    the content-addressed result store
+``metrics``  JSONL metrics bus (wall times, hit/miss, utilization)
+``engine``   the :class:`ParallelRunner` and the generic ``fan_out``
+"""
+
+from repro.runner.cache import ResultCache, code_version
+from repro.runner.engine import JobOutcome, ParallelRunner, fan_out
+from repro.runner.jobs import ExperimentJob, execute_job, suite_jobs
+from repro.runner.metrics import MetricsBus
+
+__all__ = [
+    "ExperimentJob",
+    "JobOutcome",
+    "MetricsBus",
+    "ParallelRunner",
+    "ResultCache",
+    "code_version",
+    "execute_job",
+    "fan_out",
+    "suite_jobs",
+]

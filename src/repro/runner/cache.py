@@ -1,0 +1,139 @@
+"""Content-addressed on-disk memoization of experiment results.
+
+Each cache entry is keyed by the SHA-256 of (experiment id, job config
+hash, code version), where the code version digests every ``*.py``
+source file of the installed ``repro`` package.  Editing any model
+source therefore invalidates the whole cache — stale results can never
+be replayed — while re-running an unchanged suite is pure cache hits.
+
+An entry is two files under the cache directory:
+
+``<key>.pkl``   the pickled :class:`ExperimentResult`
+``<key>.json``  human-auditable metadata (experiment, wall time, key parts)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import pickle
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.runner.jobs import ExperimentJob
+
+PathLike = Union[str, pathlib.Path]
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (memoized per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+class ResultCache:
+    """On-disk store mapping jobs to finished experiment results."""
+
+    def __init__(self, directory: PathLike,
+                 version: Optional[str] = None):
+        self.directory = pathlib.Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as err:
+            raise ConfigurationError(
+                f"cache dir {self.directory} is not a directory") from err
+        self.version = version or code_version()
+
+    # --- keying ------------------------------------------------------------
+
+    def key(self, job: ExperimentJob) -> str:
+        """Content address of *job* under the current code version."""
+        payload = json.dumps(
+            {"experiment": job.experiment, "config": job.config_hash(),
+             "code": self.version},
+            sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _paths(self, key: str) -> "tuple[pathlib.Path, pathlib.Path]":
+        return (self.directory / f"{key}.pkl", self.directory / f"{key}.json")
+
+    # --- store/load --------------------------------------------------------
+
+    def get(self, job: ExperimentJob) -> Optional[ExperimentResult]:
+        """The cached result for *job*, or ``None`` on a miss.
+
+        A corrupt or unreadable entry is treated as a miss (and the
+        entry is dropped) rather than poisoning the run.
+        """
+        pkl_path, meta_path = self._paths(self.key(job))
+        if not pkl_path.exists():
+            return None
+        try:
+            with pkl_path.open("rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            pkl_path.unlink(missing_ok=True)
+            meta_path.unlink(missing_ok=True)
+            return None
+        if not isinstance(result, ExperimentResult):
+            return None
+        return result
+
+    def put(self, job: ExperimentJob, result: ExperimentResult,
+            wall_s: float = 0.0) -> str:
+        """Store *result* for *job*; returns the cache key.
+
+        Writes go through a temporary file + rename so a crashed run
+        never leaves a truncated pickle behind.
+        """
+        key = self.key(job)
+        pkl_path, meta_path = self._paths(key)
+        tmp = pkl_path.with_suffix(".pkl.tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(pkl_path)
+        meta_path.write_text(json.dumps({
+            "experiment": job.experiment,
+            "fast": job.fast,
+            "seed": job.job_seed,
+            "config_hash": job.config_hash(),
+            "code_version": self.version,
+            "wall_s": wall_s,
+        }, indent=1) + "\n")
+        return key
+
+    # --- inspection --------------------------------------------------------
+
+    def entries(self) -> List[Dict[str, object]]:
+        """Metadata of every readable entry, sorted by experiment id."""
+        out = []
+        for meta_path in sorted(self.directory.glob("*.json")):
+            try:
+                out.append(json.loads(meta_path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return sorted(out, key=lambda m: str(m.get("experiment", "")))
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number of results removed."""
+        removed = 0
+        for path in self.directory.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+        return removed

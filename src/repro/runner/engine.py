@@ -1,0 +1,184 @@
+"""The parallel execution engine.
+
+``ParallelRunner.run`` resolves cache hits up front, fans the misses
+over a :class:`~concurrent.futures.ProcessPoolExecutor` (or runs them
+inline when ``workers == 1`` — the serial reference path), and hands
+back outcomes in submission order regardless of completion order.
+Determinism holds across both paths because every job re-seeds the
+global RNG from its stable per-job seed before running, and every
+experiment carries its own seeded generators besides.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import ExperimentJob, execute_job
+from repro.runner.metrics import MetricsBus
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job: a result or an error, plus provenance."""
+
+    job: ExperimentJob
+    result: Optional[ExperimentResult]
+    wall_s: float
+    cached: bool
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+
+def _timed_execute(job: ExperimentJob) -> Tuple[ExperimentResult, float]:
+    """Worker entry point: run one job, return (result, wall seconds)."""
+    start = time.perf_counter()
+    result = execute_job(job)
+    return result, time.perf_counter() - start
+
+
+class ParallelRunner:
+    """Schedules experiment jobs over processes with result caching."""
+
+    def __init__(self, workers: int = 1,
+                 cache: Optional[ResultCache] = None,
+                 metrics: Optional[MetricsBus] = None):
+        if workers < 1:
+            raise ConfigurationError("need at least one worker")
+        self.workers = workers
+        self.cache = cache
+        self.metrics = metrics or MetricsBus()
+
+    # --- scheduling --------------------------------------------------------
+
+    def run(self, jobs: Sequence[ExperimentJob]) -> List[JobOutcome]:
+        """Run every job; outcomes come back in submission order.
+
+        Completion order is whatever the pool produces — the metrics
+        stream records it faithfully — but the returned list lines up
+        with *jobs* so callers can render deterministically.
+        """
+        started = time.perf_counter()
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+
+        pending: List[Tuple[int, ExperimentJob]] = []
+        for index, job in enumerate(jobs):
+            hit = self.cache.get(job) if self.cache is not None else None
+            if hit is not None:
+                outcomes[index] = JobOutcome(job=job, result=hit,
+                                             wall_s=0.0, cached=True)
+                self.metrics.job_end(job.experiment, 0.0, cached=True)
+            else:
+                pending.append((index, job))
+
+        if pending:
+            if self.workers == 1:
+                for index, job in pending:
+                    outcomes[index] = self._run_inline(job)
+            else:
+                self._run_pool(pending, outcomes)
+
+        elapsed = time.perf_counter() - started
+        self.metrics.suite_end(self.workers, elapsed)
+        return [o for o in outcomes if o is not None]
+
+    def _run_inline(self, job: ExperimentJob) -> JobOutcome:
+        self.metrics.job_start(job.experiment)
+        try:
+            result, wall = _timed_execute(job)
+        except Exception:  # noqa: BLE001 — one bad job must not kill a sweep
+            wall = 0.0
+            message = traceback.format_exc(limit=8)
+            self.metrics.job_end(job.experiment, wall, cached=False,
+                                 error=message.splitlines()[-1])
+            return JobOutcome(job=job, result=None, wall_s=wall,
+                              cached=False, error=message)
+        self._store(job, result, wall)
+        self.metrics.job_end(job.experiment, wall, cached=False)
+        return JobOutcome(job=job, result=result, wall_s=wall, cached=False)
+
+    def _run_pool(self, pending: Sequence[Tuple[int, ExperimentJob]],
+                  outcomes: List[Optional[JobOutcome]]) -> None:
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {}
+            for index, job in pending:
+                self.metrics.job_start(job.experiment)
+                futures[pool.submit(_timed_execute, job)] = (index, job)
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining,
+                                       return_when=FIRST_COMPLETED)
+                for future in done:
+                    index, job = futures[future]
+                    try:
+                        result, wall = future.result()
+                    except Exception as err:  # noqa: BLE001
+                        message = "".join(traceback.format_exception_only(
+                            type(err), err)).strip()
+                        self.metrics.job_end(job.experiment, 0.0,
+                                             cached=False, error=message)
+                        outcomes[index] = JobOutcome(
+                            job=job, result=None, wall_s=0.0,
+                            cached=False, error=message)
+                        continue
+                    self._store(job, result, wall)
+                    self.metrics.job_end(job.experiment, wall, cached=False)
+                    outcomes[index] = JobOutcome(
+                        job=job, result=result, wall_s=wall, cached=False)
+
+    def _store(self, job: ExperimentJob, result: ExperimentResult,
+               wall_s: float) -> None:
+        if self.cache is not None:
+            self.cache.put(job, result, wall_s)
+
+
+def fan_out(fn: Callable[[ItemT], ResultT], items: Sequence[ItemT],
+            workers: int = 1,
+            metrics: Optional[MetricsBus] = None,
+            label: Callable[[ItemT], str] = str) -> List[ResultT]:
+    """Map a picklable callable over *items*, preserving item order.
+
+    The generic sibling of :class:`ParallelRunner` for drivers (like the
+    benchmark sweeps) whose unit of work is not a registry experiment.
+    *fn* must be a module-level function (or ``functools.partial`` of
+    one) so it can cross the process boundary.
+    """
+    if workers < 1:
+        raise ConfigurationError("need at least one worker")
+    bus = metrics or MetricsBus()
+    started = time.perf_counter()
+    results: List[ResultT] = [None] * len(items)  # type: ignore[list-item]
+    if workers == 1 or len(items) <= 1:
+        for index, item in enumerate(items):
+            bus.job_start(label(item))
+            t0 = time.perf_counter()
+            results[index] = fn(item)
+            bus.job_end(label(item), time.perf_counter() - t0, cached=False)
+    else:
+        from concurrent.futures import as_completed
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for index, item in enumerate(items):
+                bus.job_start(label(item))
+                futures[pool.submit(fn, item)] = (index, item,
+                                                  time.perf_counter())
+            for future in as_completed(futures):
+                index, item, t0 = futures[future]
+                results[index] = future.result()
+                bus.job_end(label(item), time.perf_counter() - t0,
+                            cached=False)
+    bus.suite_end(workers, time.perf_counter() - started)
+    return results

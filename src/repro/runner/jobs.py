@@ -1,0 +1,88 @@
+"""Experiment job descriptions and deterministic execution.
+
+A job is the unit the engine schedules and the cache keys: one
+experiment id plus the knobs that change its output.  Jobs are frozen
+dataclasses so they pickle cleanly into worker processes and hash
+stably into cache keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One schedulable experiment run.
+
+    ``seed`` overrides the derived per-job seed; leave it ``None`` for
+    the deterministic default (a stable hash of the experiment id), so
+    the same job always starts from the same global RNG state whether it
+    runs inline or in a worker process.
+    """
+
+    experiment: str
+    fast: bool = False
+    seed: Optional[int] = None
+
+    @property
+    def job_seed(self) -> int:
+        """Stable per-job seed: identical across runs and processes."""
+        if self.seed is not None:
+            return self.seed
+        digest = hashlib.sha256(self.experiment.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big")
+
+    def config_hash(self) -> str:
+        """Hash of everything about this job that can change its output."""
+        payload = json.dumps(
+            {"experiment": self.experiment, "fast": self.fast,
+             "seed": self.job_seed},
+            sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        return f"{self.experiment}{' (fast)' if self.fast else ''}"
+
+
+def suite_jobs(names: Optional[Sequence[str]] = None,
+               fast: bool = False) -> List[ExperimentJob]:
+    """Jobs for *names* (or the whole registry), in registry order.
+
+    ``"all"`` anywhere in *names* expands to the full registered suite.
+    Unknown names raise :class:`ConfigurationError` before anything runs.
+    """
+    from repro.experiments.registry import runners
+
+    table = runners()
+    if names is None or "all" in (names or []):
+        selected = list(table)
+    else:
+        selected = list(names)
+        unknown = [n for n in selected if n not in table]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown experiment(s) {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(table))}")
+    return [ExperimentJob(experiment=name, fast=fast) for name in selected]
+
+
+def execute_job(job: ExperimentJob) -> ExperimentResult:
+    """Run one job to completion in the current process.
+
+    Seeds the global RNG from the job first: the registry's runners all
+    carry their own seeded ``random.Random`` instances, but this guards
+    any stray module-level randomness so the serial and parallel paths
+    produce bitwise-identical results.
+    """
+    from repro.experiments.registry import run_experiment
+
+    random.seed(job.job_seed)
+    return run_experiment(job.experiment, fast=job.fast)

@@ -1,0 +1,75 @@
+"""The runner's metrics bus: JSONL events for the BENCH_* trajectory.
+
+Every scheduling decision emits one event — ``job_start``, ``job_end``
+(with wall time and cache hit/miss), ``suite_end`` (with aggregate
+counters and worker utilization).  Events accumulate in memory and,
+when a path is given, append to a JSONL file so external tooling can
+tail a long sweep live.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+class MetricsBus:
+    """Collects runner events and mirrors them to an optional JSONL file."""
+
+    def __init__(self, path: Optional[PathLike] = None):
+        self.path = pathlib.Path(path) if path else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.events: List[Dict[str, object]] = []
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # --- emission ----------------------------------------------------------
+
+    def emit(self, kind: str, **fields: object) -> Dict[str, object]:
+        """Record one event; returns it for chaining/inspection."""
+        event: Dict[str, object] = {"event": kind, "ts": time.time()}
+        event.update(fields)
+        self.events.append(event)
+        if self.path is not None:
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return event
+
+    def job_start(self, experiment: str) -> None:
+        self.emit("job_start", experiment=experiment)
+
+    def job_end(self, experiment: str, wall_s: float, cached: bool,
+                error: Optional[str] = None) -> None:
+        if cached:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        self.emit("job_end", experiment=experiment, wall_s=wall_s,
+                  cached=cached, error=error)
+
+    # --- aggregation -------------------------------------------------------
+
+    def job_wall_s(self) -> float:
+        """Total wall time spent actually executing (cache misses)."""
+        return sum(float(e.get("wall_s", 0.0)) for e in self.events
+                   if e["event"] == "job_end" and not e.get("cached"))
+
+    def utilization(self, workers: int, elapsed_s: float) -> float:
+        """Mean busy fraction of the worker pool over the suite."""
+        if workers <= 0 or elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self.job_wall_s() / (workers * elapsed_s))
+
+    def suite_end(self, workers: int, elapsed_s: float) -> Dict[str, object]:
+        """Emit (and return) the closing summary event."""
+        return self.emit(
+            "suite_end", workers=workers, elapsed_s=elapsed_s,
+            jobs=self.cache_hits + self.cache_misses,
+            cache_hits=self.cache_hits, cache_misses=self.cache_misses,
+            busy_s=self.job_wall_s(),
+            utilization=self.utilization(workers, elapsed_s))

@@ -17,6 +17,7 @@ from repro.errors import AllocationError, ConfigurationError
 from repro.os.hotplug import HotplugStats
 from repro.os.page import OwnerKind
 from repro.os.swap import SwapSpace
+from repro.power.idd import DPD_RESIDUAL_FRACTION, SPARE_ROW_FRACTION
 from repro.power.system import SystemPowerModel
 from repro.sim.perfmodel import PerformanceModel
 from repro.units import PAGE_SIZE
@@ -109,8 +110,16 @@ class VMTraceRunResult:
 
     @property
     def background_power_reduction(self) -> float:
-        """Mean background-power reduction vs an ungated baseline."""
-        return self.mean_dpd_fraction * 0.97 * 0.98  # residual + spare rows
+        """Mean background-power reduction vs an ungated baseline.
+
+        Gated capacity sheds its background power except the power-gate
+        leakage residual and the never-gated spare rows; both factors
+        come from the calibrated power model so a recalibration there
+        cannot silently diverge from this summary statistic.
+        """
+        return (self.mean_dpd_fraction
+                * (1.0 - DPD_RESIDUAL_FRACTION)
+                * (1.0 - SPARE_ROW_FRACTION))
 
     @property
     def dram_energy_saving(self) -> float:

@@ -66,6 +66,27 @@ class TestConfig:
             GreenDIMMDaemon(system.mm, system.hotplug, system.power_control,
                             config=bad_config)
 
+    def test_thresholds_round_to_nearest(self):
+        # 4GB platform -> 1048576 pages; 0.1049995 x that = 110099.48...
+        # truncation would floor to 110099, rounding gives 110099 too, but
+        # 0.10500049 x that = 110100.99... where int() loses a page.
+        system = make_system(config=GreenDIMMConfig(
+            block_bytes=64 * MIB, off_thr_fraction=0.12,
+            on_thr_fraction=0.10500049))
+        total = system.mm.total_pages
+        assert system.daemon.low_water_pages == round(0.10500049 * total)
+        assert system.daemon.low_water_pages == 110101  # int() gives 110100
+        assert system.daemon.reserve_pages == round(0.12 * total)
+
+    def test_collapsed_thresholds_rejected(self):
+        # Both fractions land on the same page count after rounding on a
+        # small platform: the hysteresis band vanished, which used to
+        # thrash silently between off-lining and on-lining.
+        with pytest.raises(ConfigurationError):
+            make_system(config=GreenDIMMConfig(
+                block_bytes=64 * MIB, off_thr_fraction=0.0000020,
+                on_thr_fraction=0.0000019))
+
 
 class TestOfflineBehaviour:
     def test_idle_system_offlines_surplus(self):
@@ -176,6 +197,37 @@ class TestOverheadAccounting:
         now = settle(system)
         _grow(system, "app", 2 * GIB // PAGE_SIZE, start=now)
         assert system.daemon.stats.wakeup_wait_s > 0
+
+    def test_online_busy_pins_table3_latency(self):
+        """Table 3 regression: on-lining costs 3.44 ms of daemon CPU per
+        event — the Section 4.3 wake-up poll is controller wait, not
+        daemon cycles, and must not leak into busy accounting."""
+        system = make_system()
+        now = settle(system)
+        _grow(system, "app", 2 * GIB // PAGE_SIZE, start=now)
+        stats = system.daemon.stats
+        assert stats.online_events > 0
+        assert stats.wakeup_wait_s > 0
+        assert stats.busy_online_s == pytest.approx(
+            stats.online_events * 3.44e-3, rel=1e-9)
+
+    def test_offline_busy_pins_table3_latency(self):
+        """Off-lining free blocks costs the measured 1.58 ms per event."""
+        system = make_system()
+        settle(system)
+        stats = system.daemon.stats
+        assert stats.offline_events > 0
+        assert stats.ebusy_failures == 0 and stats.eagain_failures == 0
+        assert stats.busy_offline_s == pytest.approx(
+            stats.offline_events * 1.58e-3, rel=1e-9)
+
+    def test_busy_is_sum_of_offline_and_online(self):
+        system = make_system()
+        now = settle(system)
+        _grow(system, "app", 2 * GIB // PAGE_SIZE, start=now)
+        stats = system.daemon.stats
+        assert stats.busy_s == pytest.approx(
+            stats.busy_offline_s + stats.busy_online_s, rel=1e-12)
 
 
 class TestEventLog:

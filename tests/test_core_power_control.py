@@ -83,3 +83,70 @@ class TestOnlinePath:
         ctl.block_onlined(5, now_s=1.0)
         gated = ctl.block_offlined(5, now_s=2.0)
         assert gated == [5]
+
+
+class TestPairRegating:
+    """``block_onlined`` un-gating partner-broken groups, and the re-gate
+    path once the pairing constraint is restored."""
+
+    def test_partner_broken_group_stays_offline_but_ungated(self):
+        ctl = control(pair_gating=True)
+        ctl.block_offlined(2)
+        ctl.block_offlined(3)
+        ctl.prepare_online(3, now_s=1.0)
+        broken = ctl.block_onlined(3, now_s=1.0)
+        assert broken == [2]
+        # Group 2 is *fully offline* but can no longer be held gated:
+        # its capacity stays out of service yet draws background power.
+        assert 2 in ctl.offline_blocks
+        assert ctl.offline_capacity_fraction() == pytest.approx(1 / 64)
+        assert ctl.gated_capacity_fraction() == 0.0
+
+    def test_reoffline_partner_regates_both(self):
+        ctl = control(pair_gating=True)
+        ctl.block_offlined(2)
+        ctl.block_offlined(3)
+        ctl.prepare_online(3, now_s=1.0)
+        assert ctl.block_onlined(3, now_s=1.0) == [2]
+        # Bringing the partner back offline restores the pairing
+        # constraint: both groups gate again in one event.
+        assert ctl.block_offlined(3, now_s=2.0) == [2, 3]
+        assert ctl.register.is_gated(2) and ctl.register.is_gated(3)
+
+    def test_partial_group_breaks_partner_gating(self):
+        # 128 MiB blocks: group g covers blocks 8g..8g+7.  On-lining a
+        # single block out of group 3 leaves group 2 fully offline but
+        # partner-broken — both must wake.
+        ctl = GreenDIMMPowerControl(PowerBlockMap(MAPPING, 128 * MIB),
+                                    pair_gating=True)
+        for block in range(16, 32):  # all of groups 2 and 3
+            ctl.block_offlined(block)
+        assert ctl.register.is_gated(2) and ctl.register.is_gated(3)
+        # prepare_online already woke group 3 (the block's own group);
+        # block_onlined then reports the *partner* group as broken.
+        ctl.prepare_online(24, now_s=1.0)
+        broken = ctl.block_onlined(24, now_s=1.0)
+        assert broken == [2]
+        assert not ctl.register.is_gated(2)
+        assert not ctl.register.is_gated(3)
+        # Group 2's eight blocks are all still offline.
+        assert all(b in ctl.offline_blocks for b in range(16, 24))
+
+    def test_regate_syncs_mode_registers(self):
+        ctl = control(pair_gating=True)
+        ctl.block_offlined(2)
+        ctl.block_offlined(3)
+        after_gate = ctl.mrs_time_ns
+        ctl.prepare_online(3, now_s=1.0)
+        ctl.block_onlined(3, now_s=1.0)
+        after_break = ctl.mrs_time_ns
+        # Un-gating the broken partner is an MRS broadcast too.
+        assert after_break > after_gate
+        ctl.block_offlined(3, now_s=2.0)
+        assert ctl.mrs_time_ns > after_break
+
+    def test_online_of_unpaired_block_breaks_nothing(self):
+        ctl = control(pair_gating=True)
+        ctl.block_offlined(2)  # partner 3 never offlined -> never gated
+        assert ctl.block_onlined(2, now_s=1.0) == []
+        assert ctl.offline_capacity_fraction() == 0.0

@@ -1,0 +1,232 @@
+"""The parallel experiment engine: jobs, cache, metrics, aggregation."""
+
+import json
+
+import pytest
+
+from repro.analysis.aggregate import SuiteAggregator
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.runner import (
+    ExperimentJob,
+    JobOutcome,
+    MetricsBus,
+    ParallelRunner,
+    ResultCache,
+    code_version,
+    fan_out,
+    suite_jobs,
+)
+
+FAST_PAIR = ["tab1", "fig3"]  # two cheap, deterministic experiments
+
+
+class TestJobs:
+    def test_suite_jobs_default_is_whole_registry(self):
+        from repro.experiments.registry import runners
+
+        jobs = suite_jobs(fast=True)
+        assert [j.experiment for j in jobs] == list(runners())
+        assert all(j.fast for j in jobs)
+
+    def test_all_keyword_expands(self):
+        assert len(suite_jobs(["all"])) == len(suite_jobs())
+
+    def test_unknown_name_rejected_before_running(self):
+        with pytest.raises(ConfigurationError):
+            suite_jobs(["tab1", "fig99"])
+
+    def test_job_seed_is_stable(self):
+        assert (ExperimentJob("tab1").job_seed
+                == ExperimentJob("tab1").job_seed)
+        assert (ExperimentJob("tab1").job_seed
+                != ExperimentJob("fig3").job_seed)
+        assert ExperimentJob("tab1", seed=7).job_seed == 7
+
+    def test_config_hash_covers_fast_flag(self):
+        assert (ExperimentJob("tab1", fast=True).config_hash()
+                != ExperimentJob("tab1", fast=False).config_hash())
+
+
+class TestCache:
+    def test_key_stable_across_instances(self, tmp_path):
+        job = ExperimentJob("tab1", fast=True)
+        first = ResultCache(tmp_path / "a").key(job)
+        second = ResultCache(tmp_path / "b").key(job)
+        assert first == second
+
+    def test_key_changes_with_code_version(self, tmp_path):
+        job = ExperimentJob("tab1", fast=True)
+        assert (ResultCache(tmp_path, version="v1").key(job)
+                != ResultCache(tmp_path, version="v2").key(job))
+
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = ExperimentJob("tab1", fast=True)
+        result = ExperimentResult(experiment="tab1", description="d",
+                                  measured={"x": 1.0})
+        assert cache.get(job) is None
+        cache.put(job, result, wall_s=0.5)
+        loaded = cache.get(job)
+        assert loaded == result
+        entries = cache.entries()
+        assert len(entries) == 1
+        assert entries[0]["experiment"] == "tab1"
+        assert entries[0]["code_version"] == code_version()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = ExperimentJob("tab1", fast=True)
+        cache.put(job, ExperimentResult("tab1", "d"), wall_s=0.0)
+        (tmp_path / f"{cache.key(job)}.pkl").write_bytes(b"not a pickle")
+        assert cache.get(job) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(ExperimentJob("tab1"), ExperimentResult("tab1", "d"))
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+
+class TestEngine:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(workers=0)
+
+    def test_serial_and_parallel_agree_bitwise(self, tmp_path):
+        jobs = suite_jobs(FAST_PAIR, fast=True)
+        serial = ParallelRunner(workers=1).run(jobs)
+        parallel = ParallelRunner(workers=2).run(jobs)
+        assert [o.job for o in serial] == [o.job for o in parallel]
+        for left, right in zip(serial, parallel):
+            assert left.ok and right.ok
+            assert left.result == right.result
+            assert left.result.render() == right.result.render()
+
+    def test_warm_cache_skips_every_job(self, tmp_path):
+        jobs = suite_jobs(FAST_PAIR, fast=True)
+        cache = ResultCache(tmp_path)
+        cold_metrics = MetricsBus()
+        cold = ParallelRunner(workers=2, cache=cache,
+                              metrics=cold_metrics).run(jobs)
+        assert cold_metrics.cache_misses == len(jobs)
+        assert cold_metrics.cache_hits == 0
+
+        warm_metrics = MetricsBus()
+        warm = ParallelRunner(workers=2, cache=cache,
+                              metrics=warm_metrics).run(jobs)
+        assert warm_metrics.cache_hits == len(jobs)
+        assert warm_metrics.cache_misses == 0
+        for before, after in zip(cold, warm):
+            assert after.cached
+            assert before.result == after.result
+
+    def test_code_version_invalidates_cache(self, tmp_path):
+        jobs = suite_jobs(["tab1"], fast=True)
+        ParallelRunner(workers=1, cache=ResultCache(tmp_path)).run(jobs)
+        stale = ResultCache(tmp_path, version="other-code")
+        metrics = MetricsBus()
+        ParallelRunner(workers=1, cache=stale, metrics=metrics).run(jobs)
+        assert metrics.cache_misses == 1
+
+    def test_failures_are_contained(self, monkeypatch):
+        jobs = [ExperimentJob("tab1", fast=True)]
+        import repro.runner.engine as engine
+
+        def boom(job):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(engine, "_timed_execute", boom)
+        outcomes = ParallelRunner(workers=1).run(jobs)
+        assert len(outcomes) == 1
+        assert not outcomes[0].ok
+        assert "injected failure" in outcomes[0].error
+
+    def test_metrics_jsonl_file(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        metrics = MetricsBus(path=path)
+        ParallelRunner(workers=1, metrics=metrics).run(
+            suite_jobs(["tab1"], fast=True))
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds == ["job_start", "job_end", "suite_end"]
+        summary = events[-1]
+        assert summary["jobs"] == 1
+        assert summary["cache_misses"] == 1
+        assert 0.0 <= summary["utilization"] <= 1.0
+
+
+class TestFanOut:
+    def test_preserves_item_order(self):
+        import math
+
+        assert fan_out(math.sqrt, [16, 9, 4], workers=1) == [4, 3, 2]
+
+    def test_parallel_matches_serial(self):
+        import math
+
+        items = list(range(1, 12))
+        assert (fan_out(math.factorial, items, workers=3)
+                == fan_out(math.factorial, items, workers=1))
+
+
+def _outcome(name, ok=True, cached=False, wall=0.1):
+    result = ExperimentResult(experiment=name, description="d") if ok else None
+    return JobOutcome(job=ExperimentJob(name), result=result, wall_s=wall,
+                      cached=cached, error=None if ok else "boom")
+
+
+class TestAggregator:
+    def test_out_of_order_completion_renders_canonically(self):
+        shuffled = SuiteAggregator(canonical_order=["tab1", "fig3", "fig8"])
+        ordered = SuiteAggregator(canonical_order=["tab1", "fig3", "fig8"])
+        for name in ("fig8", "tab1", "fig3"):
+            shuffled.add(_outcome(name))
+        for name in ("tab1", "fig3", "fig8"):
+            ordered.add(_outcome(name))
+        assert shuffled.render() == ordered.render()
+        assert list(shuffled.results()) == ["tab1", "fig3", "fig8"]
+
+    def test_measured_counters(self):
+        agg = SuiteAggregator(canonical_order=["a", "b", "c"])
+        agg.add(_outcome("a", cached=True, wall=0.0))
+        agg.add(_outcome("b", wall=0.5))
+        agg.add(_outcome("c", ok=False))
+        measured = agg.measured()
+        assert measured["jobs"] == 3
+        assert measured["succeeded"] == 2
+        assert measured["failed"] == 1
+        assert measured["cache_hits"] == 1
+        assert agg.failures() == {"c": "boom"}
+        assert "FAILED" in agg.render()
+
+    def test_unknown_experiments_sort_last_by_name(self):
+        agg = SuiteAggregator(canonical_order=["tab1"])
+        agg.add(_outcome("zzz-extension"))
+        agg.add(_outcome("aaa-extension"))
+        agg.add(_outcome("tab1"))
+        assert list(agg.results()) == ["tab1", "aaa-extension",
+                                       "zzz-extension"]
+
+
+class TestCLIIntegration:
+    def test_run_two_experiments_parallel_with_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        argv = ["run", "tab1", "fig3", "--fast", "--parallel", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--metrics", str(tmp_path / "metrics.jsonl")]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Experiment suite summary" in out
+        assert "2 cached, 0 executed" not in out  # cold run executes
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 cached, 0 executed" in out  # warm run is all hits
+
+    def test_run_unknown_in_list_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "tab1", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
