@@ -5,8 +5,10 @@ Commands
 list-workloads          the synthetic workload catalog
 list-experiments        every reproducible table/figure
 run EXPERIMENT... [--fast] [--parallel N] [--cache-dir DIR]
+                 [--fault-plan FILE]
                         regenerate tables/figures (``all`` = whole suite)
 simulate WORKLOAD       run a workload under the GreenDIMM daemon
+faults storm|show       generate or inspect deterministic fault plans
 topology [--capacity]   show a platform's geometry and power envelope
 """
 
@@ -79,7 +81,12 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"try: {', '.join(runners)}", file=sys.stderr)
         return 2
 
-    jobs = suite_jobs(requested, fast=args.fast)
+    plan_json = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        plan_json = FaultPlan.from_file(args.fault_plan).canonical()
+    jobs = suite_jobs(requested, fast=args.fast, fault_plan=plan_json)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     metrics = MetricsBus(path=args.metrics)
     engine = ParallelRunner(workers=args.parallel, cache=cache,
@@ -100,8 +107,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     organization = (scaled_server_memory(args.capacity)
                     if args.capacity else spec_server_memory())
     config = GreenDIMMConfig(block_bytes=args.block_mb * MIB)
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_file(args.fault_plan)
     system = GreenDIMMSystem(organization=organization, config=config,
-                             seed=args.seed)
+                             fault_plan=fault_plan, seed=args.seed)
     simulator = ServerSimulator(system, seed=args.seed)
     result = simulator.run_workload(profile, n_copies=args.copies)
     table = Table(f"{profile.name} on {organization.describe()}",
@@ -116,6 +128,53 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     table.add_row("execution-time overhead",
                   f"{result.overhead_fraction:.2%}")
     table.add_row("swap I/O pages", simulator.swap.stats.total_io_pages)
+    if system.fault_injector is not None:
+        stats = system.fault_injector.stats
+        counts = ", ".join(f"{k}={v}" for k, v in
+                           sorted(stats.as_dict().items())) or "none"
+        table.add_row("injected faults", f"{stats.total} ({counts})")
+    print(table.render())
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan, storm_plan
+
+    if args.action == "storm":
+        plan = storm_plan(args.seed, intensity=args.intensity,
+                          duration_s=args.duration, num_blocks=args.blocks,
+                          name=args.name)
+        if args.out:
+            plan.save(args.out)
+            print(f"wrote {len(plan.rules)} rules to {args.out} "
+                  f"(plan {plan.name!r}, seed {plan.seed})")
+        else:
+            print(plan.canonical())
+        return 0
+
+    # action == "show": validate a plan file and summarize it.
+    plan = FaultPlan.from_file(args.plan_file)
+    table = Table(f"fault plan {plan.name!r} (seed {plan.seed})",
+                  ["property", "value"])
+    table.add_row("rules", len(plan.rules))
+    by_kind: Dict[str, int] = {}
+    sticky = 0
+    targeted = 0
+    horizon = 0.0
+    for rule in plan.rules:
+        key = f"{rule.op}:{rule.error}"
+        by_kind[key] = by_kind.get(key, 0) + 1
+        if rule.count < 0:
+            sticky += 1
+        if rule.target is not None:
+            targeted += 1
+        if rule.end_s != float("inf"):
+            horizon = max(horizon, rule.end_s)
+    for key in sorted(by_kind):
+        table.add_row(f"  {key}", by_kind[key])
+    table.add_row("targeted rules", targeted)
+    table.add_row("sticky rules", sticky)
+    table.add_row("horizon", f"{horizon:g} s" if horizon else "unbounded")
     print(table.render())
     return 0
 
@@ -174,6 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(experiment, config, code version)")
     run_p.add_argument("--metrics", default=None, metavar="FILE",
                        help="append per-job JSONL metrics to FILE")
+    run_p.add_argument("--fault-plan", default=None, metavar="FILE",
+                       help="inject the fault plan in FILE into every "
+                            "system the experiments build")
     run_p.set_defaults(func=cmd_run)
 
     sim_p = sub.add_parser("simulate", help="run a workload under GreenDIMM")
@@ -183,7 +245,31 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--block-mb", type=int, default=128)
     sim_p.add_argument("--copies", type=int, default=1)
     sim_p.add_argument("--seed", type=int, default=1)
+    sim_p.add_argument("--fault-plan", default=None, metavar="FILE",
+                       help="inject the fault plan in FILE")
     sim_p.set_defaults(func=cmd_simulate)
+
+    faults_p = sub.add_parser(
+        "faults", help="generate or inspect deterministic fault plans")
+    faults_sub = faults_p.add_subparsers(dest="action", required=True)
+    storm_p = faults_sub.add_parser(
+        "storm", help="expand a seed into a concrete storm plan")
+    storm_p.add_argument("--seed", type=int, default=303)
+    storm_p.add_argument("--intensity", type=float, default=1.0,
+                         help="expected fault windows per 4 s of run")
+    storm_p.add_argument("--duration", type=float, default=120.0,
+                         metavar="SECONDS")
+    storm_p.add_argument("--blocks", type=int, default=64,
+                         help="block-index space for targeted rules")
+    storm_p.add_argument("--name", default=None,
+                         help="plan name (default: derived from the seed)")
+    storm_p.add_argument("--out", default=None, metavar="FILE",
+                         help="write the plan JSON here instead of stdout")
+    storm_p.set_defaults(func=cmd_faults)
+    show_p = faults_sub.add_parser(
+        "show", help="validate a plan file and summarize its rules")
+    show_p.add_argument("plan_file")
+    show_p.set_defaults(func=cmd_faults)
 
     top_p = sub.add_parser("topology", help="inspect a platform")
     top_p.add_argument("--capacity", type=int, default=0)

@@ -45,6 +45,16 @@ class GreenDIMMConfig:
     #: Gate a sub-array group only when its sense-amp partner group is
     #: also offline (Section 6.1's consecutive-sub-array assumption).
     pair_gating: bool = True
+    #: First retry delay after a failed off-lining of a block; doubles per
+    #: consecutive failure (bounded retry with exponential backoff).
+    retry_backoff_base_s: float = 2.0
+    #: Ceiling on the per-block exponential backoff.
+    retry_backoff_max_s: float = 60.0
+    #: Consecutive failures before a block is quarantined: skipped for a
+    #: cooldown instead of retried forever.
+    quarantine_failures: int = 3
+    #: How long a quarantined block stays out of the candidate pool.
+    quarantine_cooldown_s: float = 120.0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.on_thr_fraction < self.off_thr_fraction < 1.0:
@@ -56,3 +66,12 @@ class GreenDIMMConfig:
             raise ConfigurationError("block size must be positive")
         if self.max_attempts_per_period <= 0:
             raise ConfigurationError("max attempts must be positive")
+        if self.retry_backoff_base_s <= 0 or self.retry_backoff_max_s <= 0:
+            raise ConfigurationError("backoff delays must be positive")
+        if self.retry_backoff_max_s < self.retry_backoff_base_s:
+            raise ConfigurationError(
+                "backoff ceiling cannot undercut the base delay")
+        if self.quarantine_failures <= 0:
+            raise ConfigurationError("quarantine threshold must be positive")
+        if self.quarantine_cooldown_s <= 0:
+            raise ConfigurationError("quarantine cooldown must be positive")

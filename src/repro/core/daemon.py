@@ -14,12 +14,12 @@ import collections
 import math
 import random
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import Deque, Dict, List, Optional, Set
 
 from repro.core.config import GreenDIMMConfig
 from repro.core.power_control import GreenDIMMPowerControl
 from repro.core.selector import BlockSelector
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, OnlineError, WakeupTimeoutError
 from repro.ksm.daemon import KSMDaemon
 from repro.os.hotplug import MemoryBlockManager
 from repro.os.mm import PhysicalMemoryManager
@@ -32,6 +32,7 @@ class DaemonEvent:
 
     time_s: float
     kind: str  # offline | online | ebusy | eagain | emergency
+    #          # | online_failed | wakeup_timeout | quarantine
     block: int
 
 
@@ -50,6 +51,9 @@ class DaemonStats:
     busy_online_s: float = 0.0
     wakeup_wait_s: float = 0.0
     emergency_onlines: int = 0
+    online_failures: int = 0
+    wakeup_timeouts: int = 0
+    quarantines: int = 0
 
     @property
     def total_failures(self) -> int:
@@ -88,6 +92,11 @@ class GreenDIMMDaemon:
         #: Bounded event history; oldest entries are dropped.
         self.event_log: Deque[DaemonEvent] = collections.deque(maxlen=20_000)
         self._since_monitor_s = math.inf  # fire on the first step
+        #: Consecutive off-lining failures per block (cleared on success).
+        self._fail_streak: Dict[int, int] = {}
+        #: Earliest time a failed block may be attempted again (backoff /
+        #: quarantine embargo).
+        self._retry_at: Dict[int, float] = {}
 
     # --- thresholds ----------------------------------------------------------
 
@@ -132,21 +141,61 @@ class GreenDIMMDaemon:
 
     # --- off-lining --------------------------------------------------------------
 
+    def _embargoed(self, now_s: float) -> Set[int]:
+        """Blocks sitting out a backoff delay or quarantine cooldown."""
+        expired = [b for b, t in self._retry_at.items() if t <= now_s]
+        for block in expired:
+            del self._retry_at[block]
+        return set(self._retry_at)
+
+    def _note_offline_failure(self, block: int, now_s: float,
+                              errno_name: Optional[str]) -> None:
+        """Bounded retry with exponential backoff, then quarantine.
+
+        EAGAIN is transient, so the block is retried after an
+        exponentially growing delay; EBUSY means unmovable pages are
+        present right now, so one base delay gives the pinned extent a
+        chance to expire.  A block that keeps failing either way is
+        quarantined for a long cooldown instead of burning an attempt
+        every period forever.
+        """
+        streak = self._fail_streak.get(block, 0) + 1
+        self._fail_streak[block] = streak
+        if streak >= self.config.quarantine_failures:
+            self._retry_at[block] = now_s + self.config.quarantine_cooldown_s
+            self.stats.quarantines += 1
+            self.event_log.append(DaemonEvent(now_s, "quarantine", block))
+            return
+        if errno_name == "EAGAIN":
+            delay = min(self.config.retry_backoff_base_s * 2 ** (streak - 1),
+                        self.config.retry_backoff_max_s)
+        else:
+            delay = self.config.retry_backoff_base_s
+        self._retry_at[block] = now_s + delay
+
     def _offline_surplus(self, now_s: float, free_pages: int) -> None:
         surplus_blocks = (free_pages - self.reserve_pages) // self._block_pages
         if surplus_blocks <= 0:
             return
-        budget = min(surplus_blocks, self.config.max_attempts_per_period)
-        candidates = self.selector.candidates(budget)
+        # Draw up to max_attempts_per_period candidates so each failure
+        # has a replacement to fall through to: the budget bounds
+        # *attempts*, not candidates, and off-lining no longer falls
+        # short of the surplus just because early candidates failed.
+        max_attempts = self.config.max_attempts_per_period
+        candidates = self.selector.candidates(
+            max_attempts, exclude=self._embargoed(now_s))
         done = 0
+        attempts = 0
         for block in candidates:
-            if done >= surplus_blocks:
+            if done >= surplus_blocks or attempts >= max_attempts:
                 break
+            attempts += 1
             result = self.hotplug.try_offline_block(block)
             self.stats.busy_s += result.latency_s
             self.stats.busy_offline_s += result.latency_s
             if result.success:
                 done += 1
+                self._fail_streak.pop(block, None)
                 self.stats.offline_events += 1
                 self.stats.offlined_bytes_total += self.config.block_bytes
                 self.power_control.block_offlined(block, now_s)
@@ -154,46 +203,81 @@ class GreenDIMMDaemon:
             elif result.errno_name == "EBUSY":
                 self.stats.ebusy_failures += 1
                 self.event_log.append(DaemonEvent(now_s, "ebusy", block))
+                self._note_offline_failure(block, now_s, result.errno_name)
             else:
                 self.stats.eagain_failures += 1
                 self.event_log.append(DaemonEvent(now_s, "eagain", block))
+                self._note_offline_failure(block, now_s, result.errno_name)
 
     # --- on-lining ----------------------------------------------------------------
 
-    def _online_until(self, now_s: float, target_free_pages: int) -> int:
-        onlined = 0
+    def _online_until(self, now_s: float,
+                      target_free_pages: int) -> List[int]:
+        """On-line lowest-address offline blocks until *target* free pages.
+
+        Degrades gracefully: a block whose wake-up times out or whose
+        ``online_pages()`` fails is skipped and the next-lowest offline
+        block is tried instead of aborting the refill (or spinning on
+        the same block forever).  Every iteration either on-lines a
+        block or adds one to the skip set, so the loop is bounded by the
+        offline-block count.  Returns the blocks brought back.
+        """
+        onlined: List[int] = []
+        skipped: Set[int] = set()
         while self.mm.free_pages < target_free_pages:
-            offline = self.hotplug.offline_blocks()
+            offline = [b for b in self.hotplug.offline_blocks()
+                       if b not in skipped]
             if not offline:
                 break
             block = min(offline)
             # The wake-up poll (Section 4.3) is controller wait, not
             # daemon CPU time: it lands in wakeup_wait_s only, so
             # cpu_overhead_fraction reflects cycles actually consumed.
-            wait_s = self.power_control.prepare_online(block, now_s)
+            try:
+                wait_s = self.power_control.prepare_online(block, now_s)
+            except WakeupTimeoutError as err:
+                self.stats.wakeup_wait_s += getattr(err, "wait_s", 0.0)
+                self.stats.wakeup_timeouts += 1
+                self.event_log.append(
+                    DaemonEvent(now_s, "wakeup_timeout", block))
+                skipped.add(block)
+                continue
             self.stats.wakeup_wait_s += wait_s
-            latency = self.hotplug.online_block(block)
+            try:
+                latency = self.hotplug.online_block(block)
+            except OnlineError as err:
+                self.stats.online_failures += 1
+                self.stats.busy_s += getattr(err, "latency_s", 0.0)
+                self.stats.busy_online_s += getattr(err, "latency_s", 0.0)
+                self.event_log.append(
+                    DaemonEvent(now_s, "online_failed", block))
+                skipped.add(block)
+                continue
             self.power_control.block_onlined(block, now_s)
             self.stats.busy_s += latency
             self.stats.busy_online_s += latency
             self.stats.online_events += 1
             self.stats.onlined_bytes_total += self.config.block_bytes
             self.event_log.append(DaemonEvent(now_s, "online", block))
-            onlined += 1
+            onlined.append(block)
         return onlined
 
     def emergency_online(self, needed_pages: int, now_s: float = 0.0) -> int:
         """Allocation pressure beyond the monitor's reaction: on-line now.
 
-        Returns the blocks on-lined.  Called by the server model when an
-        allocation fails between monitoring periods.
+        Returns the number of blocks on-lined.  Called by the server
+        model when an allocation fails between monitoring periods.  One
+        ``emergency`` event is logged per block brought back, so
+        Figure-12-style event analysis counts emergency traffic at its
+        true rate.
         """
         target = self.mm.free_pages + max(needed_pages, self._block_pages)
         onlined = self._online_until(now_s, target_free_pages=target)
         if onlined:
             self.stats.emergency_onlines += 1
-            self.event_log.append(DaemonEvent(now_s, "emergency", -1))
-        return onlined
+            for block in onlined:
+                self.event_log.append(DaemonEvent(now_s, "emergency", block))
+        return len(onlined)
 
     # --- views --------------------------------------------------------------------
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import Collection, List, Optional
 
 from repro.core.config import SelectionPolicy
 from repro.os.hotplug import MemoryBlockManager
@@ -51,16 +51,24 @@ class BlockSelector:
             "removable": {b for b in pool if self.hotplug.removable(b)},
         }
 
-    def candidates(self, count: int) -> List[int]:
-        """Up to *count* blocks to attempt off-lining, in attempt order."""
+    def candidates(self, count: int,
+                   exclude: Collection[int] = ()) -> List[int]:
+        """Up to *count* blocks to attempt off-lining, in attempt order.
+
+        *exclude* removes blocks the daemon has embargoed — backing off
+        after repeated failures or sitting out a quarantine cooldown —
+        before policy ordering is applied.
+        """
         if count <= 0:
             return []
         current = self._observe()
         view = self._snapshot if (self.stale_view
                                   and self._snapshot is not None) else current
         self._snapshot = current
+        excluded = set(exclude)
         pool = [b for b in view["pool"]
-                if self.hotplug.state(b).value == "online"]
+                if b not in excluded
+                and self.hotplug.state(b).value == "online"]
         if not pool:
             return []
         if self.policy is SelectionPolicy.RANDOM:

@@ -16,6 +16,10 @@ from repro.core.mapping import PowerBlockMap
 from repro.core.power_control import GreenDIMMPowerControl
 from repro.dram.address import AddressMapping
 from repro.dram.organization import MemoryOrganization, spec_server_memory
+from repro.faults.context import get_active_plan, register_injector
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.wrappers import wrap_system_components
 from repro.ksm.daemon import KSMConfig, KSMDaemon
 from repro.os.hotplug import HotplugLatencyModel, MemoryBlockManager
 from repro.os.mm import PhysicalMemoryManager
@@ -36,24 +40,41 @@ class GreenDIMMSystem:
                  hotplug_latency: Optional[HotplugLatencyModel] = None,
                  transient_failure_probability: float = 0.85,
                  kernel_boot_bytes: int = 2 * GIB,
+                 fault_plan: Optional[FaultPlan] = None,
                  seed: int = 42):
         self.organization = organization or spec_server_memory()
         self.config = config or GreenDIMMConfig()
         rng = random.Random(seed)
-        self.mm = PhysicalMemoryManager(
+        # Fault injection: an explicit plan wins; otherwise the runner's
+        # process-global plan (``repro run --fault-plan``) applies.  The
+        # wrappers are identity when no plan is active.
+        from_context = fault_plan is None
+        # `is None`, not truthiness: an explicit empty plan (zero rules,
+        # so falsy via __len__) must still beat the ambient context plan.
+        self.fault_plan = (fault_plan if fault_plan is not None
+                           else get_active_plan())
+        self.fault_injector = (FaultInjector(self.fault_plan)
+                               if self.fault_plan is not None else None)
+        if self.fault_injector is not None and from_context:
+            register_injector(self.fault_injector)
+        core_mm = PhysicalMemoryManager(
             total_bytes=self.organization.total_capacity_bytes,
             block_bytes=self.config.block_bytes,
             movable_fraction=movable_fraction)
-        self.hotplug = MemoryBlockManager(
-            self.mm, latency=hotplug_latency,
+        core_hotplug = MemoryBlockManager(
+            core_mm, latency=hotplug_latency,
             transient_failure_probability=transient_failure_probability,
             rng=random.Random(rng.randrange(1 << 30)))
-        self.sysfs = SysfsMemoryInterface(self.hotplug)
         self.mapping = AddressMapping(self.organization, interleaved=True)
         self.block_map = PowerBlockMap(self.mapping, self.config.block_bytes)
-        self.power_control = GreenDIMMPowerControl(
+        core_power_control = GreenDIMMPowerControl(
             self.block_map, pair_gating=self.config.pair_gating)
-        self.ksm = (KSMDaemon(self.mm, config=ksm_config,
+        self.mm, self.hotplug, self.power_control = wrap_system_components(
+            core_mm, core_hotplug, core_power_control, self.fault_injector)
+        self.sysfs = SysfsMemoryInterface(core_hotplug)
+        # KSM runs against the unwrapped manager: its merge/unmerge
+        # bookkeeping must not be starved by injected pressure spikes.
+        self.ksm = (KSMDaemon(core_mm, config=ksm_config,
                               rng=random.Random(rng.randrange(1 << 30)))
                     if enable_ksm else None)
         self.daemon = GreenDIMMDaemon(
@@ -61,13 +82,19 @@ class GreenDIMMSystem:
             ksm=self.ksm, rng=random.Random(rng.randrange(1 << 30)))
         self.power_model = DRAMPowerModel(self.organization)
         if kernel_boot_bytes:
-            self.mm.allocate("kernel", kernel_boot_bytes // 4096,
+            core_mm.allocate("kernel", kernel_boot_bytes // 4096,
                              kind=OwnerKind.KERNEL)
 
     # --- stepping ----------------------------------------------------------
 
+    def advance_time(self, now_s: float) -> None:
+        """Carry simulation time to the fault injector (no-op without one)."""
+        if self.fault_injector is not None:
+            self.fault_injector.advance(now_s)
+
     def step(self, now_s: float, dt_s: float = 1.0) -> None:
         """Advance KSM and the GreenDIMM daemon by one epoch."""
+        self.advance_time(now_s)
         if self.ksm is not None:
             self.ksm.step(dt_s)
         self.daemon.step(now_s, dt_s)

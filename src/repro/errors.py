@@ -62,6 +62,22 @@ class OnlineError(HotplugError):
     errno_name = "EINVAL"
 
 
+class WakeupTimeoutError(HotplugError):
+    """The sub-array wake-up ready bit never set within the poll budget.
+
+    Raised by the fault-injection layer wrapping
+    ``GreenDIMMPowerControl.prepare_online`` (Section 4.2's poll loop):
+    the daemon must treat the block as not-yet-onlineable and move on,
+    charging the abandoned poll (``wait_s``) to wake-up wait — never to
+    daemon CPU time.
+    """
+
+    errno_name = "ETIMEDOUT"
+
+    #: Controller wait burned by the abandoned poll, set by the raiser.
+    wait_s: float = 0.0
+
+
 class PowerStateError(ReproError):
     """An illegal DRAM power-state transition was requested."""
 

@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.config import GreenDIMMConfig, SelectionPolicy
 from repro.core.system import GreenDIMMSystem
 from repro.dram.device import DDR4_4GB_X8
 from repro.dram.organization import MemoryOrganization
+from repro.faults.plan import FaultPlan
 from repro.sim.server import ServerSimulator, WorkloadRunResult
 from repro.units import GIB, MIB
 from repro.workloads.spec import BLOCKSIZE_STUDY_SET, SPEC_PROFILES
@@ -61,7 +62,8 @@ def run_app(app: str, block_mib: int,
             policy: SelectionPolicy = SelectionPolicy.REMOVABLE_FIRST,
             fast: bool = False, seed: int = 17,
             transient_failure_probability: float = 0.85,
-            pinned_churn: bool = True) -> StudyRun:
+            pinned_churn: bool = True,
+            fault_plan: Optional[FaultPlan] = None) -> StudyRun:
     """One application at one block size under the real daemon."""
     profile = SPEC_PROFILES[app]
     config = GreenDIMMConfig(block_bytes=block_mib * MIB, selection=policy)
@@ -69,7 +71,7 @@ def run_app(app: str, block_mib: int,
         organization=study_organization(), config=config,
         kernel_boot_bytes=512 * MIB,
         transient_failure_probability=transient_failure_probability,
-        seed=seed)
+        fault_plan=fault_plan, seed=seed)
     simulator = ServerSimulator(system, seed=seed)
     epoch = 2.0 if fast else 1.0
     result = simulator.run_workload(profile, epoch_s=epoch,
@@ -89,9 +91,22 @@ def run_matrix(fast: bool = False,
     return runs
 
 
-@functools.lru_cache(maxsize=4)
+@functools.lru_cache(maxsize=8)
+def _cached_matrix(fast: bool, policy: SelectionPolicy,
+                   plan_key: Optional[str]) -> Dict[Tuple[str, int], StudyRun]:
+    return run_matrix(fast=fast, policy=policy)
+
+
 def cached_matrix(fast: bool = False,
                   policy: SelectionPolicy = SelectionPolicy.REMOVABLE_FIRST,
                   ) -> Dict[Tuple[str, int], StudyRun]:
-    """Memoized matrix so Figures 6/7 and Table 2 share one set of runs."""
-    return run_matrix(fast=fast, policy=policy)
+    """Memoized matrix so Figures 6/7 and Table 2 share one set of runs.
+
+    The active fault plan participates in the memo key: a matrix built
+    under one storm must not be served to a run under another (or none).
+    """
+    from repro.faults.context import get_active_plan
+
+    plan = get_active_plan()
+    return _cached_matrix(fast, policy,
+                          plan.canonical() if plan is not None else None)

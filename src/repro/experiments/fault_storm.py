@@ -1,0 +1,158 @@
+"""Fault storm: Figure 8 extended into a resilience stress matrix.
+
+Figure 8 counts the off-lining failures that occur *organically*; this
+experiment provokes them.  A seeded :func:`repro.faults.storm_plan`
+batters the hot-plug path with EBUSY/EAGAIN storms, sticky blocks,
+wake-up timeouts, on-line failures, and allocation-pressure spikes at
+three intensities, while a sawtooth footprint (with emergency-capable
+resizes) keeps the daemon off-lining and on-lining throughout.  For
+each (storm intensity x selection policy) cell it reports failure
+counts, injected-fault counts, the emergency-online rate, and the tail
+of the daemon's per-epoch busy time.
+
+The paper's Figure 8 claim must survive the weather: removable-first
+selection keeps beating random selection at every storm intensity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import Table
+from repro.core.config import GreenDIMMConfig, SelectionPolicy
+from repro.core.system import GreenDIMMSystem
+from repro.experiments.blocksize_study import study_organization
+from repro.experiments.common import ExperimentResult
+from repro.faults import FaultPlan, storm_plan
+from repro.sim.server import ServerSimulator
+from repro.units import MIB, PAGE_SIZE
+
+#: Storm intensities: expected injected-fault windows per 4 s of run.
+INTENSITIES: Tuple[Tuple[str, float], ...] = (
+    ("calm", 0.5), ("gusty", 2.0), ("storm", 6.0))
+
+STORM_SEED = 303
+_DURATION_S = 120.0
+_BLOCK_MIB = 64
+
+
+@dataclass(frozen=True)
+class StormCell:
+    """One (intensity, policy) cell of the stress matrix."""
+
+    intensity: str
+    policy: SelectionPolicy
+    organic_failures: int
+    injected_faults: int
+    emergency_onlines: int
+    emergency_rate_per_min: float
+    busy_p95_ms: float
+    quarantines: int
+
+    @property
+    def total_failures(self) -> int:
+        return self.organic_failures
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+def _storm_run(policy: SelectionPolicy, plan: FaultPlan,
+               intensity: str, fast: bool) -> StormCell:
+    """Drive one server through the storm with a sawtooth footprint."""
+    config = GreenDIMMConfig(block_bytes=_BLOCK_MIB * MIB, selection=policy)
+    system = GreenDIMMSystem(
+        organization=study_organization(), config=config,
+        kernel_boot_bytes=512 * MIB,
+        transient_failure_probability=0.85,
+        fault_plan=plan, seed=STORM_SEED)
+    simulator = ServerSimulator(system, seed=STORM_SEED)
+
+    total_pages = system.mm.total_pages
+    low = int(0.20 * total_pages)
+    high = int(0.62 * total_pages)
+    period_s = 30.0
+    epoch_s = 2.0 if fast else 1.0
+    duration = _DURATION_S / 2 if fast else _DURATION_S
+
+    busy_deltas: List[float] = []
+    busy_before = 0.0
+    t = 0.0
+    while t < duration:
+        # Descending sawtooth: the footprint leaps to its peak at each
+        # period boundary — far beyond the free reserve, forcing the
+        # emergency-online path — then drains so the daemon off-lines
+        # the surplus again.  Both daemon loops stay busy all run.
+        phase = (t % period_s) / period_s
+        target = int(high - (high - low) * phase)
+        simulator.resize_owner("app", target, t, emergency=True)
+        simulator._pinned_churn(t, epoch_s)
+        system.step(t, epoch_s)
+        busy_now = system.daemon.stats.busy_s
+        busy_deltas.append(busy_now - busy_before)
+        busy_before = busy_now
+        t += epoch_s
+
+    stats = system.daemon.stats
+    injector = system.fault_injector
+    injected = injector.stats.total if injector is not None else 0
+    return StormCell(
+        intensity=intensity,
+        policy=policy,
+        organic_failures=stats.total_failures,
+        injected_faults=injected,
+        emergency_onlines=stats.emergency_onlines,
+        emergency_rate_per_min=stats.emergency_onlines / (duration / 60.0),
+        busy_p95_ms=_percentile(busy_deltas, 0.95) * 1e3,
+        quarantines=stats.quarantines)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    table = Table(
+        "Fault storm — off-lining failures and resilience by selection "
+        "policy under injected failure storms",
+        ["storm", "policy", "failures", "injected", "emergencies/min",
+         "busy p95 (ms)", "quarantines"])
+    cells: Dict[Tuple[str, SelectionPolicy], StormCell] = {}
+    total_injected = 0
+    for name, intensity in INTENSITIES:
+        plan = storm_plan(STORM_SEED, intensity=intensity,
+                          duration_s=_DURATION_S, num_blocks=128)
+        for policy in (SelectionPolicy.RANDOM,
+                       SelectionPolicy.REMOVABLE_FIRST):
+            cell = _storm_run(policy, plan, name, fast)
+            cells[(name, policy)] = cell
+            total_injected += cell.injected_faults
+            table.add_row(name, policy.value, cell.total_failures,
+                          cell.injected_faults,
+                          f"{cell.emergency_rate_per_min:.2f}",
+                          f"{cell.busy_p95_ms:.2f}", cell.quarantines)
+
+    removable_wins = all(
+        cells[(name, SelectionPolicy.REMOVABLE_FIRST)].total_failures
+        <= cells[(name, SelectionPolicy.RANDOM)].total_failures
+        for name, _ in INTENSITIES)
+    worst = cells[("storm", SelectionPolicy.REMOVABLE_FIRST)]
+    return ExperimentResult(
+        experiment="fault_storm",
+        description="stress matrix extending Figure 8: selection policy "
+                    "vs deterministic failure storms",
+        tables=[table],
+        measured={
+            "removable_beats_random_all_storms": removable_wins,
+            "total_injected_faults": total_injected,
+            "storm_emergency_rate_per_min": worst.emergency_rate_per_min,
+            "storm_busy_p95_ms": worst.busy_p95_ms,
+        },
+        paper={"removable_beats_random_all_storms": True},
+        notes="the paper's Figure 8 ranking must hold under provoked "
+              "failure storms, not just organic ones; emergency rate and "
+              "busy tail bound the daemon's degradation")

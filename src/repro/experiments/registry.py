@@ -20,6 +20,7 @@ def runners() -> Dict[str, Callable[..., ExperimentResult]]:
         fig01_utilization,
         fig02_idle_busy,
         fig03_interleaving,
+        fault_storm,
         fig08_failures,
         fig12_offlined_blocks,
         fig13_capacity_scaling,
@@ -55,6 +56,7 @@ def runners() -> Dict[str, Callable[..., ExperimentResult]]:
         "fig13": fig13_capacity_scaling.run,
         "daemon-overhead": daemon_overhead.run,
         "tail-latency": tail_latency.run,
+        "fault-storm": fault_storm.run,
     }
 
 

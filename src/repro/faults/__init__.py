@@ -1,0 +1,62 @@
+"""Deterministic, seedable fault injection for the hot-plug/daemon path.
+
+GreenDIMM's mechanism lives or dies on an error-prone kernel interface:
+Section 5.2 shows ``offline_pages()`` failing constantly with EBUSY and
+EAGAIN, and Table 3's latencies matter precisely because the daemon must
+absorb those failures without stalling the server.  This package lets a
+run *provoke* those failures on demand — declaratively, reproducibly —
+instead of waiting for the simulation's organic randomness to produce
+them:
+
+* :mod:`repro.faults.plan` — the declarative schedule (``FaultRule`` /
+  ``FaultPlan``) plus the seeded :func:`storm_plan` generator;
+* :mod:`repro.faults.injector` — the deterministic executor;
+* :mod:`repro.faults.wrappers` — drop-in wrappers for the memory-block
+  manager, the power control, and the physical memory manager;
+* :mod:`repro.faults.context` — the process-global plan the parallel
+  runner uses to reach experiments inside worker processes.
+"""
+
+from repro.faults.context import (
+    active_plan,
+    drain_fault_counts,
+    get_active_plan,
+    register_injector,
+    set_active_plan,
+)
+from repro.faults.injector import FaultClock, FaultInjector, FaultStats
+from repro.faults.plan import (
+    FAULT_OPS,
+    STICKY,
+    FaultPlan,
+    FaultRule,
+    storm_plan,
+)
+from repro.faults.wrappers import (
+    DEFAULT_WAKEUP_TIMEOUT_S,
+    FaultyMemoryBlockManager,
+    FaultyPhysicalMemoryManager,
+    FaultyPowerControl,
+    wrap_system_components,
+)
+
+__all__ = [
+    "FAULT_OPS",
+    "STICKY",
+    "DEFAULT_WAKEUP_TIMEOUT_S",
+    "FaultClock",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStats",
+    "FaultyMemoryBlockManager",
+    "FaultyPhysicalMemoryManager",
+    "FaultyPowerControl",
+    "active_plan",
+    "drain_fault_counts",
+    "get_active_plan",
+    "register_injector",
+    "set_active_plan",
+    "storm_plan",
+    "wrap_system_components",
+]

@@ -1,0 +1,64 @@
+"""Process-global fault-plan context for the experiment runner.
+
+``repro run --fault-plan`` must apply one plan to every system an
+experiment constructs, including inside pool worker processes where the
+CLI cannot reach.  The runner therefore serializes the plan into the
+job (where it also keys the result cache) and ``execute_job`` activates
+it here before the experiment runs; ``GreenDIMMSystem`` consults
+:func:`get_active_plan` when no explicit plan was passed.
+
+Injectors created under an active plan register themselves so the
+runner can drain their counters into the JSONL metrics stream after the
+job finishes — one ``faults`` dict per ``job_end`` event.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import FaultPlan
+
+_active_plan: Optional[FaultPlan] = None
+_injectors: List[FaultInjector] = []
+
+
+def get_active_plan() -> Optional[FaultPlan]:
+    """The plan activated for the current job, if any."""
+    return _active_plan
+
+
+def set_active_plan(plan: Optional[FaultPlan]) -> None:
+    """Activate *plan* process-wide (``None`` deactivates)."""
+    global _active_plan
+    _active_plan = plan
+
+
+def register_injector(injector: FaultInjector) -> None:
+    """Track an injector created under the active plan for draining."""
+    _injectors.append(injector)
+
+
+def drain_fault_counts() -> Dict[str, int]:
+    """Merge and clear every registered injector's counters.
+
+    Returns the combined ``op:error -> count`` mapping for the job that
+    just ran (empty when no faults were injected).
+    """
+    merged = FaultStats()
+    for injector in _injectors:
+        merged.merge(injector.stats)
+    _injectors.clear()
+    return merged.as_dict()
+
+
+@contextmanager
+def active_plan(plan: Optional[FaultPlan]) -> Iterator[None]:
+    """Scope *plan* to a ``with`` block, restoring the prior plan after."""
+    previous = _active_plan
+    set_active_plan(plan)
+    try:
+        yield
+    finally:
+        set_active_plan(previous)

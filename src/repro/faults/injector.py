@@ -1,0 +1,101 @@
+"""The deterministic fault injector that executes a :class:`FaultPlan`.
+
+The injector holds no randomness of its own: given the same plan and
+the same sequence of ``should_fail`` queries (which the simulation's
+seeded determinism guarantees), it fires the same faults at the same
+attempts every run.  Rules fire first-match in plan order, each
+consuming one unit of its attempt budget (sticky rules never exhaust).
+
+A :class:`FaultClock` carries simulation time into the wrapped kernel
+surfaces, whose real APIs (``try_offline_block`` et al.) don't take a
+timestamp; ``GreenDIMMSystem.step`` advances it every epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.faults.plan import FaultPlan, FaultRule
+
+
+@dataclass
+class FaultClock:
+    """Mutable simulation-time carrier shared by injector and wrappers."""
+
+    now_s: float = 0.0
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected failures, keyed ``op:error``."""
+
+    injected: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, op: str, error: str) -> None:
+        key = f"{op}:{error}"
+        self.injected[key] = self.injected.get(key, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.injected.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(sorted(self.injected.items()))
+
+    def merge(self, other: "FaultStats") -> None:
+        for key, value in other.injected.items():
+            self.injected[key] = self.injected.get(key, 0) + value
+
+
+class FaultInjector:
+    """Decides, per attempt, whether a fault plan fires.
+
+    ``should_fail`` is the single consultation point the wrappers call;
+    it returns the matching :class:`FaultRule` (after consuming one unit
+    of its budget) or ``None``.  Every fired fault is appended to
+    ``events`` — op, error, target, time — which the metrics bus turns
+    into JSONL.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 clock: Optional[FaultClock] = None):
+        self.plan = plan
+        self.clock = clock or FaultClock()
+        self._remaining: List[int] = [rule.count for rule in plan.rules]
+        self.stats = FaultStats()
+        self.events: List[Dict[str, object]] = []
+
+    @property
+    def now_s(self) -> float:
+        return self.clock.now_s
+
+    def advance(self, now_s: float) -> None:
+        """Move the injector's notion of simulation time forward."""
+        self.clock.now_s = now_s
+
+    def should_fail(self, op: str,
+                    target: Optional[int] = None) -> Optional[FaultRule]:
+        """First live matching rule for this attempt, or ``None``.
+
+        A hit consumes one unit of the rule's budget (sticky rules are
+        bottomless) and records the injection in ``stats``/``events``.
+        """
+        now = self.clock.now_s
+        for index, rule in enumerate(self.plan.rules):
+            if self._remaining[index] == 0:
+                continue
+            if not rule.matches(op, target, now):
+                continue
+            if self._remaining[index] > 0:
+                self._remaining[index] -= 1
+            self.stats.count(op, rule.error)
+            self.events.append({"op": op, "error": rule.error,
+                                "target": target, "time_s": now,
+                                "rule": rule.label or index})
+            return rule
+        return None
+
+    def exhausted(self) -> bool:
+        """True once every non-sticky rule has spent its budget."""
+        return all(r == 0 for r in self._remaining if r >= 0)

@@ -101,6 +101,17 @@ class OfflineResult:
     errno_name: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class OnlineAttempt:
+    """Outcome of one on-lining attempt (the ``try_`` mirror of
+    :class:`OfflineResult`)."""
+
+    block: int
+    success: bool
+    latency_s: float
+    errno_name: Optional[str] = None
+
+
 class MemoryBlockManager:
     """Drives block state transitions against a PhysicalMemoryManager.
 
@@ -224,10 +235,22 @@ class MemoryBlockManager:
         accounted by the power-control layer, not here.
         """
         if self.states[index] is not MemoryBlockState.OFFLINE:
-            raise OnlineError(f"block {index} is not offline")
+            error = OnlineError(f"block {index} is not offline")
+            error.latency_s = 0.0
+            raise error
         self.mm.complete_online(index)
         self.states[index] = MemoryBlockState.ONLINE
         latency = self.latency.online_s
         self.stats.online_success += 1
         self.stats.record("online", latency)
         return latency
+
+    def try_online_block(self, index: int) -> OnlineAttempt:
+        """Non-raising wrapper: always returns an :class:`OnlineAttempt`."""
+        try:
+            return OnlineAttempt(block=index, success=True,
+                                 latency_s=self.online_block(index))
+        except OnlineError as err:
+            return OnlineAttempt(block=index, success=False,
+                                 latency_s=getattr(err, "latency_s", 0.0),
+                                 errno_name=err.errno_name)

@@ -15,10 +15,11 @@ import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.errors import ConfigurationError
 from repro.experiments.common import ExperimentResult
+from repro.faults.context import drain_fault_counts
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import ExperimentJob, execute_job
 from repro.runner.metrics import MetricsBus
@@ -36,17 +37,25 @@ class JobOutcome:
     wall_s: float
     cached: bool
     error: Optional[str] = None
+    faults: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None and self.result is not None
 
 
-def _timed_execute(job: ExperimentJob) -> Tuple[ExperimentResult, float]:
-    """Worker entry point: run one job, return (result, wall seconds)."""
+def _timed_execute(
+        job: ExperimentJob,
+) -> Tuple[ExperimentResult, float, Dict[str, int]]:
+    """Worker entry point: run one job, return (result, wall s, faults).
+
+    The fault counters come from every injector the job's plan spawned
+    in this process — drained here, at the process that ran the job, so
+    they survive the trip back from pool workers.
+    """
     start = time.perf_counter()
     result = execute_job(job)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, drain_fault_counts()
 
 
 class ParallelRunner:
@@ -97,7 +106,7 @@ class ParallelRunner:
     def _run_inline(self, job: ExperimentJob) -> JobOutcome:
         self.metrics.job_start(job.experiment)
         try:
-            result, wall = _timed_execute(job)
+            result, wall, faults = _timed_execute(job)
         except Exception:  # noqa: BLE001 — one bad job must not kill a sweep
             wall = 0.0
             message = traceback.format_exc(limit=8)
@@ -106,8 +115,10 @@ class ParallelRunner:
             return JobOutcome(job=job, result=None, wall_s=wall,
                               cached=False, error=message)
         self._store(job, result, wall)
-        self.metrics.job_end(job.experiment, wall, cached=False)
-        return JobOutcome(job=job, result=result, wall_s=wall, cached=False)
+        self.metrics.job_end(job.experiment, wall, cached=False,
+                             faults=faults)
+        return JobOutcome(job=job, result=result, wall_s=wall, cached=False,
+                          faults=faults)
 
     def _run_pool(self, pending: Sequence[Tuple[int, ExperimentJob]],
                   outcomes: List[Optional[JobOutcome]]) -> None:
@@ -123,7 +134,7 @@ class ParallelRunner:
                 for future in done:
                     index, job = futures[future]
                     try:
-                        result, wall = future.result()
+                        result, wall, faults = future.result()
                     except Exception as err:  # noqa: BLE001
                         message = "".join(traceback.format_exception_only(
                             type(err), err)).strip()
@@ -134,9 +145,11 @@ class ParallelRunner:
                             cached=False, error=message)
                         continue
                     self._store(job, result, wall)
-                    self.metrics.job_end(job.experiment, wall, cached=False)
+                    self.metrics.job_end(job.experiment, wall, cached=False,
+                                         faults=faults)
                     outcomes[index] = JobOutcome(
-                        job=job, result=result, wall_s=wall, cached=False)
+                        job=job, result=result, wall_s=wall, cached=False,
+                        faults=faults)
 
     def _store(self, job: ExperimentJob, result: ExperimentResult,
                wall_s: float) -> None:

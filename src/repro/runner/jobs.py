@@ -26,11 +26,19 @@ class ExperimentJob:
     the deterministic default (a stable hash of the experiment id), so
     the same job always starts from the same global RNG state whether it
     runs inline or in a worker process.
+
+    ``fault_plan`` is a fault plan in canonical JSON form (see
+    :meth:`repro.faults.FaultPlan.canonical`), kept as a string so the
+    job pickles into worker processes unchanged and hashes stably into
+    cache keys.  The plan is activated process-globally around the run,
+    so experiments that build systems without an explicit plan pick it
+    up.
     """
 
     experiment: str
     fast: bool = False
     seed: Optional[int] = None
+    fault_plan: Optional[str] = None
 
     @property
     def job_seed(self) -> int:
@@ -44,7 +52,7 @@ class ExperimentJob:
         """Hash of everything about this job that can change its output."""
         payload = json.dumps(
             {"experiment": self.experiment, "fast": self.fast,
-             "seed": self.job_seed},
+             "seed": self.job_seed, "fault_plan": self.fault_plan},
             sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -53,11 +61,13 @@ class ExperimentJob:
 
 
 def suite_jobs(names: Optional[Sequence[str]] = None,
-               fast: bool = False) -> List[ExperimentJob]:
+               fast: bool = False,
+               fault_plan: Optional[str] = None) -> List[ExperimentJob]:
     """Jobs for *names* (or the whole registry), in registry order.
 
     ``"all"`` anywhere in *names* expands to the full registered suite.
     Unknown names raise :class:`ConfigurationError` before anything runs.
+    *fault_plan* (canonical JSON, or ``None``) is stamped onto every job.
     """
     from repro.experiments.registry import runners
 
@@ -71,7 +81,8 @@ def suite_jobs(names: Optional[Sequence[str]] = None,
             raise ConfigurationError(
                 f"unknown experiment(s) {', '.join(sorted(unknown))}; "
                 f"known: {', '.join(sorted(table))}")
-    return [ExperimentJob(experiment=name, fast=fast) for name in selected]
+    return [ExperimentJob(experiment=name, fast=fast, fault_plan=fault_plan)
+            for name in selected]
 
 
 def execute_job(job: ExperimentJob) -> ExperimentResult:
@@ -80,9 +91,15 @@ def execute_job(job: ExperimentJob) -> ExperimentResult:
     Seeds the global RNG from the job first: the registry's runners all
     carry their own seeded ``random.Random`` instances, but this guards
     any stray module-level randomness so the serial and parallel paths
-    produce bitwise-identical results.
+    produce bitwise-identical results.  A fault plan on the job is
+    activated process-globally for the duration of the run.
     """
     from repro.experiments.registry import run_experiment
+    from repro.faults.context import active_plan
+    from repro.faults.plan import FaultPlan
 
     random.seed(job.job_seed)
-    return run_experiment(job.experiment, fast=job.fast)
+    plan = (FaultPlan.from_json(job.fault_plan)
+            if job.fault_plan is not None else None)
+    with active_plan(plan):
+        return run_experiment(job.experiment, fast=job.fast)

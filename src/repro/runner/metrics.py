@@ -44,13 +44,21 @@ class MetricsBus:
         self.emit("job_start", experiment=experiment)
 
     def job_end(self, experiment: str, wall_s: float, cached: bool,
-                error: Optional[str] = None) -> None:
+                error: Optional[str] = None,
+                faults: Optional[Dict[str, int]] = None) -> None:
+        """Close a job.  *faults* is the injected-fault counter mapping
+        (``op:error -> count``) drained from the job's fault injectors;
+        it lands in the JSONL event only when faults were injected."""
         if cached:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
-        self.emit("job_end", experiment=experiment, wall_s=wall_s,
-                  cached=cached, error=error)
+        if faults:
+            self.emit("job_end", experiment=experiment, wall_s=wall_s,
+                      cached=cached, error=error, faults=faults)
+        else:
+            self.emit("job_end", experiment=experiment, wall_s=wall_s,
+                      cached=cached, error=error)
 
     # --- aggregation -------------------------------------------------------
 

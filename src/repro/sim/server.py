@@ -214,8 +214,14 @@ class ServerSimulator:
             available = max(0, mm.free_pages - 16)
             if available > 0:
                 take = min(need, available)
-                mm.allocate(owner, take, mergeable=mergeable)
-                need -= take
+                try:
+                    mm.allocate(owner, take, mergeable=mergeable)
+                    need -= take
+                except AllocationError:
+                    # A second failure (e.g. an injected pressure spike
+                    # right after the first) leaves the whole remainder
+                    # for swap rather than killing the run.
+                    pass
             if need > 0:
                 self.swap.swap_out(owner, need)
             return need
@@ -228,6 +234,16 @@ class ServerSimulator:
         else:
             self._try_swap_in(owner)
         return 0
+
+    def resize_owner(self, owner: str, target_pages: int, now_s: float,
+                     mergeable: bool = False, emergency: bool = False) -> int:
+        """Public entry for external drivers (e.g. the fault-storm
+        experiment): grow/shrink *owner* through the same spill/emergency
+        machinery the built-in runs use.  Returns pages pushed to swap.
+        """
+        self.system.advance_time(now_s)
+        return self._resize_owner(owner, target_pages, now_s,
+                                  mergeable=mergeable, emergency=emergency)
 
     def _try_swap_in(self, owner: str) -> None:
         """Fault this owner's swapped pages back in while room exists.
@@ -325,6 +341,7 @@ class ServerSimulator:
         shortfall = 0
         t = 0.0
         while t < profile.duration_s:
+            self.system.advance_time(t)
             target = profile.footprint.at(t) * n_copies // PAGE_SIZE
             shortfall += self._resize_owner(owner, target, t)
             if pinned_churn:
@@ -377,6 +394,7 @@ class ServerSimulator:
         ksm = self.system.ksm
         t = 0.0
         while t < duration:
+            self.system.advance_time(t)
             while cursor < len(events) and events[cursor].time_s <= t:
                 event = events[cursor]
                 cursor += 1
@@ -451,6 +469,7 @@ class ServerSimulator:
         baseline_energy = 0.0
         t = 0.0
         while t < duration:
+            self.system.advance_time(t)
             for owner, profile in owners.items():
                 target = profile.footprint.at(min(t, profile.duration_s))
                 self._resize_owner(owner, target // PAGE_SIZE, t)

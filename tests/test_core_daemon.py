@@ -1,5 +1,7 @@
 """The GreenDIMM daemon: thresholds, selection, on/off-lining."""
 
+import collections
+
 import pytest
 
 from repro.core.config import GreenDIMMConfig, SelectionPolicy
@@ -7,7 +9,8 @@ from repro.core.selector import BlockSelector
 from repro.core.system import GreenDIMMSystem
 from repro.dram.device import DDR4_4GB_X8
 from repro.dram.organization import MemoryOrganization
-from repro.errors import ConfigurationError
+from repro.errors import AllocationError, ConfigurationError
+from repro.faults import STICKY, FaultPlan, FaultRule, storm_plan
 from repro.os.page import OwnerKind
 from repro.units import GIB, MIB, PAGE_SIZE
 
@@ -228,6 +231,141 @@ class TestOverheadAccounting:
         stats = system.daemon.stats
         assert stats.busy_s == pytest.approx(
             stats.busy_offline_s + stats.busy_online_s, rel=1e-12)
+
+
+class TestResilience:
+    """Regressions for the daemon-loop fixes, pinned with injected faults."""
+
+    @staticmethod
+    def _top_candidate() -> int:
+        """The block a fresh system's selector would try first."""
+        probe = make_system()
+        return probe.daemon.selector.candidates(1)[0]
+
+    def test_offline_failures_fall_through_to_replacements(self):
+        # The attempt budget used to be spent on a fixed candidate list
+        # sized to the surplus, so each failure left one surplus block
+        # on-lined.  Now failures draw replacement candidates until the
+        # budget (not the candidate list) runs out.
+        top = self._top_candidate()
+        plan = FaultPlan(rules=(
+            FaultRule(op="offline", error="EBUSY", target=top,
+                      count=STICKY),))
+        system = make_system(fault_plan=plan)
+        daemon = system.daemon
+        surplus = ((system.mm.free_pages - daemon.reserve_pages)
+                   // system.mm.block_pages)
+        assert 0 < surplus + 1 <= daemon.config.max_attempts_per_period
+        daemon.monitor_once(0.0)
+        assert daemon.stats.ebusy_failures >= 1
+        assert daemon.stats.offline_events == surplus
+        assert top not in system.hotplug.offline_blocks()
+
+    def test_online_skips_failing_block(self):
+        # _online_until used to pick min(offline) unconditionally: one
+        # block whose online_pages() kept failing wedged the refill
+        # forever.  Now the failure is skipped and the next block tried.
+        probe = make_system()
+        settle(probe)
+        bad = min(probe.hotplug.offline_blocks())
+        plan = FaultPlan(rules=(
+            FaultRule(op="online", error="EINVAL", target=bad,
+                      count=STICKY),))
+        system = make_system(fault_plan=plan)
+        now = settle(system)
+        assert min(system.hotplug.offline_blocks()) == bad
+        freed = system.daemon.emergency_online(
+            needed_pages=3 * system.mm.block_pages, now_s=now)
+        assert freed > 0
+        assert system.daemon.stats.online_failures >= 1
+        assert bad in system.hotplug.offline_blocks()
+        kinds = [e.kind for e in system.daemon.event_log
+                 if e.block == bad and e.time_s == now]
+        assert kinds == ["online_failed"]
+
+    def test_emergency_logs_one_event_per_block(self):
+        # emergency_online used to log a single event with block=-1 no
+        # matter how many blocks it restored, undercounting emergency
+        # traffic in Figure-12-style analysis.
+        system = make_system()
+        now = settle(system)
+        freed = system.daemon.emergency_online(
+            needed_pages=4 * system.mm.block_pages, now_s=now)
+        assert freed > 1
+        emergencies = [e for e in system.daemon.event_log
+                       if e.kind == "emergency"]
+        assert len(emergencies) == freed
+        assert all(e.block >= 0 for e in emergencies)
+        onlined = {e.block for e in system.daemon.event_log
+                   if e.kind == "online" and e.time_s == now}
+        assert {e.block for e in emergencies} == onlined
+
+    def test_wakeup_timeout_charges_wait_not_busy(self):
+        # Table 3 invariant under faults: an injected ready-bit timeout
+        # burns controller wait, never daemon CPU time.
+        plan = FaultPlan(rules=(
+            FaultRule(op="prepare_online", error="ETIMEDOUT",
+                      extra_latency_s=4e-4, count=1),))
+        system = make_system(fault_plan=plan)
+        now = settle(system)
+        system.daemon.emergency_online(
+            needed_pages=4 * system.mm.block_pages, now_s=now)
+        stats = system.daemon.stats
+        assert stats.wakeup_timeouts == 1
+        assert stats.online_events > 0
+        assert stats.wakeup_wait_s >= 4e-4
+        assert stats.busy_online_s == pytest.approx(
+            stats.online_events * 3.44e-3, rel=1e-9)
+
+    def test_quarantine_stops_burning_attempts(self):
+        # A sticky-failing block is retried with backoff, then embargoed
+        # for the cooldown instead of eating budget every period.
+        top = self._top_candidate()
+        plan = FaultPlan(rules=(
+            FaultRule(op="offline", error="EBUSY", target=top,
+                      count=STICKY),))
+        system = make_system(fault_plan=plan)
+        system.mm.allocate("app", 12 * system.mm.block_pages)
+        for t in range(40):
+            if 0 < t and t % 3 == 0 and system.mm.owner_pages("app"):
+                system.mm.free_pages_of("app", system.mm.block_pages)
+            system.step(float(t))
+        daemon = system.daemon
+        assert daemon.stats.quarantines >= 1
+        attempts_on_top = [e for e in daemon.event_log
+                           if e.kind == "ebusy" and e.block == top]
+        assert len(attempts_on_top) == daemon.config.quarantine_failures
+        assert any(e.kind == "quarantine" and e.block == top
+                   for e in daemon.event_log)
+
+    def test_no_block_offlined_and_onlined_in_same_monitor_pass(self):
+        # Hysteresis invariant under a storm: one monitor_once never
+        # both off-lines and on-lines (thrashing would show up as both
+        # event kinds at one timestamp).
+        plan = storm_plan(17, intensity=6.0, duration_s=60.0, num_blocks=64)
+        system = make_system(fault_plan=plan,
+                             transient_failure_probability=0.9)
+        app_pages = 0
+        for t in range(60):
+            try:
+                if t % 6 < 3:
+                    system.mm.allocate("app", 2 * system.mm.block_pages)
+                    app_pages += 2 * system.mm.block_pages
+                elif app_pages:
+                    system.mm.free_pages_of("app",
+                                            2 * system.mm.block_pages)
+                    app_pages -= 2 * system.mm.block_pages
+            except AllocationError:
+                system.daemon.emergency_online(2 * system.mm.block_pages,
+                                               now_s=t + 0.5)
+            system.step(float(t))
+        kinds_by_time = collections.defaultdict(set)
+        for event in system.daemon.event_log:
+            kinds_by_time[event.time_s].add(event.kind)
+        assert any("offline" in k for k in kinds_by_time.values())
+        assert any("online" in k for k in kinds_by_time.values())
+        for kinds in kinds_by_time.values():
+            assert not ({"offline"} & kinds and {"online"} & kinds)
 
 
 class TestEventLog:

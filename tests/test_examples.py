@@ -46,6 +46,14 @@ def test_vm_consolidation():
     assert "KSM pages currently merged" in out
 
 
+def test_fault_injection_demo():
+    out = run_example("fault_injection_demo.py")
+    assert "injected faults:" in out
+    assert "offline:EAGAIN" in out
+    assert "blocks quarantined:" in out
+    assert "replay is bit-identical: True" in out
+
+
 def test_capacity_planning():
     out = run_example("capacity_planning.py")
     assert "DRAM-saving" in out
@@ -66,5 +74,6 @@ def test_api_doc_generator():
     assert result.returncode == 0, result.stderr
     text = (root / "docs" / "API.md").read_text()
     for name in ("GreenDIMMDaemon", "PhysicalMemoryManager",
-                 "DRAMPowerModel", "KSMDaemon", "ServerSimulator"):
+                 "DRAMPowerModel", "KSMDaemon", "ServerSimulator",
+                 "FaultPlan", "FaultInjector", "storm_plan"):
         assert name in text

@@ -47,6 +47,24 @@ class TestJobs:
         assert (ExperimentJob("tab1", fast=True).config_hash()
                 != ExperimentJob("tab1", fast=False).config_hash())
 
+    def test_config_hash_covers_fault_plan(self):
+        from repro.faults import storm_plan
+
+        bare = ExperimentJob("tab1", fast=True)
+        storm_a = ExperimentJob("tab1", fast=True,
+                                fault_plan=storm_plan(1).canonical())
+        storm_b = ExperimentJob("tab1", fast=True,
+                                fault_plan=storm_plan(2).canonical())
+        assert len({bare.config_hash(), storm_a.config_hash(),
+                    storm_b.config_hash()}) == 3
+
+    def test_suite_jobs_stamp_fault_plan(self):
+        from repro.faults import storm_plan
+
+        plan_json = storm_plan(5).canonical()
+        jobs = suite_jobs(FAST_PAIR, fast=True, fault_plan=plan_json)
+        assert all(j.fault_plan == plan_json for j in jobs)
+
 
 class TestCache:
     def test_key_stable_across_instances(self, tmp_path):
