@@ -1,0 +1,41 @@
+"""Simulation-core timing: quiescence fast-forward vs per-epoch stepping.
+
+Runs the same three fixed-seed scenarios as ``repro bench`` (a SPEC
+workload run, an Azure vm-trace replay, a co-located mix), each with the
+fast path on and off, and persists the JSON document to
+``benchmarks/results/BENCH_perf_core.json``.  The assertions encode the
+layer's contract: every scenario must be bit-for-bit identical across
+the two paths, and the epoch-dominated trace replay must come out at
+least 3x faster with fast-forwarding on.
+"""
+
+import json
+
+from conftest import RESULTS_DIR
+
+from repro.bench import run_perf_core
+
+
+def run_bench(fast: bool = True) -> dict:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return run_perf_core(full=not fast,
+                         out=RESULTS_DIR / "BENCH_perf_core.json")
+
+
+def test_perf_core(benchmark, fast_mode):
+    document = benchmark.pedantic(run_bench, kwargs={"fast": fast_mode},
+                                  rounds=1, iterations=1)
+    print()
+    print(json.dumps(document, indent=2, sort_keys=True))
+    scenarios = document["scenarios"]
+    assert set(scenarios) == {"workload", "vm_trace", "mix"}
+    # Bit-for-bit: the fast path must not change a single sample or joule.
+    for name, s in scenarios.items():
+        assert s["identical"], f"{name} diverged under fast-forward"
+        assert s["epochs_total"] > 0
+    # The trace replay is the epoch-dominated scenario the layer targets.
+    trace = scenarios["vm_trace"]
+    assert trace["epochs_fast_forwarded"] > 0
+    assert trace["fast_forward_windows"] > 0
+    assert trace["speedup"] >= 3.0
+    assert trace["power_cache_hit_rate"] > 0.5

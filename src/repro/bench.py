@@ -1,0 +1,163 @@
+"""The simulation-core micro-benchmark behind ``repro bench``.
+
+Times the three hot run loops — a SPEC workload run, an Azure vm-trace
+replay, and a co-located mix — twice each at fixed seeds: once with the
+quiescence fast-forward layer on and once forced onto the per-epoch
+reference path.  Besides wall times and the speedup, every scenario
+records the fast-forward epoch accounting, the power-model cache hit
+rate, and an ``identical`` flag asserting the two runs produced the
+same samples and energies (the fast path's bit-for-bit contract).
+
+The scenarios are deliberately sized so epoch stepping, not VM-event
+handling, dominates the trace replay; that is the regime the fast path
+exists for.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional, Union
+
+from repro.core.config import GreenDIMMConfig
+from repro.core.system import GreenDIMMSystem
+from repro.dram.organization import DDR4_4GB_X8, MemoryOrganization
+from repro.sim.server import ServerSimulator
+from repro.units import GIB, MIB
+from repro.workloads.azure import AzureTraceGenerator
+from repro.workloads.registry import profile_by_name
+
+PathLike = Union[str, pathlib.Path]
+
+#: Seeds are part of the benchmark's identity: same code, same numbers.
+SYSTEM_SEED = 7
+SIMULATOR_SEED = 5
+TRACE_SEED = 7
+
+
+def _small_system() -> GreenDIMMSystem:
+    """The 8 GiB platform the unit tests exercise."""
+    organization = MemoryOrganization(device=DDR4_4GB_X8, channels=1,
+                                      dimms_per_channel=2, ranks_per_dimm=1)
+    return GreenDIMMSystem(organization=organization,
+                           config=GreenDIMMConfig(block_bytes=128 * MIB),
+                           kernel_boot_bytes=512 * MIB,
+                           transient_failure_probability=0.5,
+                           seed=SYSTEM_SEED)
+
+
+def _trace_system() -> GreenDIMMSystem:
+    """A 16 GiB consolidation box: cheap VM events, many epochs."""
+    organization = MemoryOrganization(device=DDR4_4GB_X8, channels=2,
+                                      dimms_per_channel=2, ranks_per_dimm=1)
+    return GreenDIMMSystem(organization=organization,
+                           config=GreenDIMMConfig(block_bytes=512 * MIB),
+                           kernel_boot_bytes=2 * GIB,
+                           transient_failure_probability=0.5,
+                           seed=SYSTEM_SEED)
+
+
+def _run_workload(fast: bool, full: bool):
+    simulator = ServerSimulator(_small_system(), seed=SIMULATOR_SEED,
+                                fast_forward=fast)
+    profile = profile_by_name("429.mcf")
+    result = simulator.run_workload(profile, epoch_s=1.0, pinned_churn=False)
+    return simulator, (result.samples, result.dram_energy_j,
+                       result.baseline_dram_energy_j,
+                       result.overhead_fraction)
+
+
+def _run_vm_trace(fast: bool, full: bool):
+    system = _trace_system()
+    hours = 24.0 if full else 6.0
+    trace = AzureTraceGenerator(
+        capacity_bytes=system.organization.total_capacity_bytes - 3 * GIB,
+        physical_cores=16, duration_s=hours * 3600.0,
+        seed=TRACE_SEED).generate()
+    simulator = ServerSimulator(system, seed=SIMULATOR_SEED,
+                                fast_forward=fast)
+    result = simulator.run_vm_trace(trace, epoch_s=0.5, pinned_churn=False)
+    return simulator, (result.samples, result.dram_energy_j,
+                       result.baseline_dram_energy_j)
+
+
+def _run_mix(fast: bool, full: bool):
+    simulator = ServerSimulator(_small_system(), seed=SIMULATOR_SEED,
+                                fast_forward=fast)
+    profiles = [profile_by_name(name) for name in ("403.gcc", "429.mcf")]
+    result = simulator.run_mix(profiles, epoch_s=2.0, pinned_churn=False)
+    return simulator, (result.samples, result.dram_energy_j,
+                       result.baseline_dram_energy_j)
+
+
+_SCENARIOS = {
+    "workload": _run_workload,
+    "vm_trace": _run_vm_trace,
+    "mix": _run_mix,
+}
+
+
+def _time_scenario(runner, full: bool) -> Dict[str, object]:
+    t0 = time.perf_counter()
+    sim_slow, outcome_slow = runner(False, full)
+    wall_slow = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sim_fast, outcome_fast = runner(True, full)
+    wall_fast = time.perf_counter() - t0
+    stats = sim_fast.ff_stats
+    cache = sim_fast.system.power_cache_stats
+    return {
+        "wall_s_slow": wall_slow,
+        "wall_s_fast": wall_fast,
+        "speedup": wall_slow / wall_fast if wall_fast > 0 else 0.0,
+        "identical": outcome_slow == outcome_fast,
+        "epochs_total": stats.epochs_total,
+        "epochs_fast_forwarded": stats.epochs_fast_forwarded,
+        "epochs_stepped": stats.epochs_stepped,
+        "fast_forward_windows": stats.windows,
+        "power_cache_hit_rate": cache.hit_rate,
+    }
+
+
+def run_perf_core(full: bool = False,
+                  out: Optional[PathLike] = None) -> Dict[str, object]:
+    """Run every scenario; optionally write the JSON document to *out*."""
+    scenarios: Dict[str, Dict[str, object]] = {}
+    for name, runner in _SCENARIOS.items():
+        scenarios[name] = _time_scenario(runner, full)
+    document: Dict[str, object] = {
+        "benchmark": "perf_core",
+        "mode": "full" if full else "quick",
+        "scenarios": scenarios,
+    }
+    if out is not None:
+        path = pathlib.Path(out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def render_perf_core(document: Dict[str, object]) -> str:
+    """The CLI's table view of a :func:`run_perf_core` document."""
+    from repro.analysis.report import Table
+
+    table = Table(f"simulation-core benchmark ({document['mode']} mode)",
+                  ["scenario", "slow", "fast", "speedup", "ff epochs",
+                   "cache hit", "identical"])
+    scenarios: Dict[str, Dict[str, object]] = document["scenarios"]
+    for name, s in scenarios.items():
+        table.add_row(
+            name,
+            f"{s['wall_s_slow']:.3f} s",
+            f"{s['wall_s_fast']:.3f} s",
+            f"{s['speedup']:.1f}x",
+            f"{s['epochs_fast_forwarded']}/{s['epochs_total']}",
+            f"{s['power_cache_hit_rate']:.0%}",
+            "yes" if s["identical"] else "NO")
+    return table.render()
+
+
+def all_identical(document: Dict[str, object]) -> bool:
+    scenarios: Dict[str, Dict[str, object]] = document["scenarios"]
+    return all(s["identical"] for s in scenarios.values())

@@ -8,6 +8,8 @@ run EXPERIMENT... [--fast] [--parallel N] [--cache-dir DIR]
                  [--fault-plan FILE]
                         regenerate tables/figures (``all`` = whole suite)
 simulate WORKLOAD       run a workload under the GreenDIMM daemon
+bench [--full] [--out FILE]
+                        time the simulation core fast vs per-epoch path
 faults storm|show       generate or inspect deterministic fault plans
 topology [--capacity]   show a platform's geometry and power envelope
 """
@@ -114,7 +116,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         fault_plan = FaultPlan.from_file(args.fault_plan)
     system = GreenDIMMSystem(organization=organization, config=config,
                              fault_plan=fault_plan, seed=args.seed)
-    simulator = ServerSimulator(system, seed=args.seed)
+    simulator = ServerSimulator(system, seed=args.seed,
+                                fast_forward=not args.no_fast_forward)
     result = simulator.run_workload(profile, n_copies=args.copies)
     table = Table(f"{profile.name} on {organization.describe()}",
                   ["metric", "value"])
@@ -134,6 +137,20 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                            sorted(stats.as_dict().items())) or "none"
         table.add_row("injected faults", f"{stats.total} ({counts})")
     print(table.render())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import all_identical, render_perf_core, run_perf_core
+
+    document = run_perf_core(full=args.full, out=args.out)
+    print(render_perf_core(document))
+    if args.out:
+        print(f"wrote {args.out}")
+    if not all_identical(document):
+        print("error: fast-forward output diverged from the per-epoch "
+              "reference path", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -247,7 +264,19 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--seed", type=int, default=1)
     sim_p.add_argument("--fault-plan", default=None, metavar="FILE",
                        help="inject the fault plan in FILE")
+    sim_p.add_argument("--no-fast-forward", action="store_true",
+                       help="force per-epoch stepping through quiescent "
+                            "spans (results are identical either way)")
     sim_p.set_defaults(func=cmd_simulate)
+
+    bench_p = sub.add_parser(
+        "bench", help="time the simulation core, fast path vs per-epoch")
+    bench_p.add_argument("--full", action="store_true",
+                         help="run the long trace replay (quick mode "
+                              "shrinks it for CI smoke runs)")
+    bench_p.add_argument("--out", default="BENCH_perf_core.json",
+                         metavar="FILE", help="write the JSON document here")
+    bench_p.set_defaults(func=cmd_bench)
 
     faults_p = sub.add_parser(
         "faults", help="generate or inspect deterministic fault plans")

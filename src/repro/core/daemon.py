@@ -130,6 +130,32 @@ class GreenDIMMDaemon:
         self._since_monitor_s = 0.0
         self.monitor_once(now_s)
 
+    def tick_quiescent(self, dt_s: float) -> None:
+        """Advance the monitor timer through an epoch known to be a no-op.
+
+        A bit-exact mirror of :meth:`step`'s timer arithmetic for epochs
+        where ``monitor_once`` would read free memory inside the
+        hysteresis band and do nothing; the fast-forward layer calls this
+        instead of :meth:`step` so a later slow epoch fires the monitor
+        at exactly the same simulated time either way.
+        """
+        self._since_monitor_s += dt_s
+        if self._since_monitor_s < self.config.monitor_period_s:
+            return
+        self._since_monitor_s = 0.0
+
+    def monitor_is_noop(self) -> bool:
+        """True when a monitor pass right now would take no action.
+
+        The exact complement of :meth:`monitor_once`'s two branches:
+        free memory sits inside ``[on_thr, off_thr + one block]``, so the
+        pass would neither on-line nor off-line anything (and would
+        consume no selector/hot-plug randomness).
+        """
+        free = self.mm.free_pages
+        return (self.low_water_pages <= free
+                <= self.reserve_pages + self._block_pages)
+
     def monitor_once(self, now_s: float = 0.0) -> None:
         """One ``memory_usage_monitor()`` evaluation."""
         free = self.mm.free_pages

@@ -104,8 +104,13 @@ class GreenDIMMSystem:
     def dram_power(self, bandwidth_bytes_per_s: float = 0.0,
                    active_residency: float = 0.0,
                    row_miss_rate: float = 0.5) -> DRAMPowerBreakdown:
-        """Current DRAM power, honouring the gated sub-array groups."""
-        return self.power_model.busy_power(
+        """Current DRAM power, honouring the gated sub-array groups.
+
+        Memoized: the daemon's whole power-relevant state projects onto
+        ``dpd_fraction``, so (bandwidth, residency, row-miss, dpd) keys
+        the evaluation exactly.
+        """
+        return self.power_model.busy_power_cached(
             bandwidth_bytes_per_s,
             active_residency=active_residency,
             row_miss_rate=row_miss_rate,
@@ -115,8 +120,13 @@ class GreenDIMMSystem:
                             active_residency: float = 0.0,
                             row_miss_rate: float = 0.5) -> DRAMPowerBreakdown:
         """The same operating point with no sub-array gating."""
-        return self.power_model.busy_power(
+        return self.power_model.busy_power_cached(
             bandwidth_bytes_per_s,
             active_residency=active_residency,
             row_miss_rate=row_miss_rate,
             dpd_fraction=0.0)
+
+    @property
+    def power_cache_stats(self):
+        """Hit/miss counters of the memoized power-model evaluations."""
+        return self.power_model.cache_stats

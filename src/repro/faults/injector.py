@@ -13,6 +13,7 @@ timestamp; ``GreenDIMMSystem.step`` advances it every epoch.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -95,6 +96,26 @@ class FaultInjector:
                                 "rule": rule.label or index})
             return rule
         return None
+
+    def quiescent_until(self, now_s: float) -> float:
+        """Earliest future time a rule could start matching, or *now_s*.
+
+        Returns *now_s* itself while any unexhausted rule is live (its
+        window contains *now_s*) — the fast-forward layer reads that as
+        "not quiescent" and steps epoch by epoch so every ``should_fail``
+        consultation happens exactly as in the slow path.  Otherwise the
+        bound is the nearest future ``start_s`` (``inf`` when no rule can
+        ever fire again); no query strictly before it can match any rule.
+        """
+        horizon = math.inf
+        for index, rule in enumerate(self.plan.rules):
+            if self._remaining[index] == 0:
+                continue
+            if rule.start_s <= now_s < rule.end_s:
+                return now_s
+            if rule.start_s > now_s:
+                horizon = min(horizon, rule.start_s)
+        return horizon
 
     def exhausted(self) -> bool:
         """True once every non-sticky rule has spent its budget."""

@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import (
     AllocationError,
@@ -134,6 +134,10 @@ class MemoryBlockManager:
         self.rng = rng or random.Random(0)
         self.states: List[MemoryBlockState] = [
             MemoryBlockState.ONLINE for _ in range(mm.num_blocks)]
+        #: Incremental index of OFFLINE blocks, maintained at every state
+        #: transition so the per-epoch ``offline_count`` query and the
+        #: daemon's refill scans are O(offline) instead of O(num_blocks).
+        self._offline_set: Set[int] = set()
         self.stats = HotplugStats()
 
     # --- queries ------------------------------------------------------------
@@ -146,12 +150,11 @@ class MemoryBlockManager:
                 if s is MemoryBlockState.ONLINE]
 
     def offline_blocks(self) -> List[int]:
-        return [i for i, s in enumerate(self.states)
-                if s is MemoryBlockState.OFFLINE]
+        return sorted(self._offline_set)
 
     @property
     def offline_count(self) -> int:
-        return sum(1 for s in self.states if s is MemoryBlockState.OFFLINE)
+        return len(self._offline_set)
 
     def removable(self, index: int) -> bool:
         """The sysfs ``removable`` flag (Section 5.2): 1 when every page in
@@ -199,6 +202,7 @@ class MemoryBlockManager:
             raise error
 
         self.states[index] = MemoryBlockState.OFFLINE
+        self._offline_set.add(index)
         latency = self.latency.offline_latency(migrated)
         self.stats.offline_success += 1
         self.stats.migrated_pages += migrated
@@ -240,6 +244,7 @@ class MemoryBlockManager:
             raise error
         self.mm.complete_online(index)
         self.states[index] = MemoryBlockState.ONLINE
+        self._offline_set.discard(index)
         latency = self.latency.online_s
         self.stats.online_success += 1
         self.stats.record("online", latency)

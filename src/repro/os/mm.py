@@ -91,6 +91,10 @@ class PhysicalMemoryManager:
             alignment_pages=self.block_pages).build()
         self._extents: Dict[int, PageExtent] = {}
         self._owners: Dict[str, Set[int]] = {}
+        #: Incremental per-owner resident-page totals; kept in lock-step
+        #: with ``_owners`` so ``owner_pages`` is O(1) instead of an
+        #: O(extents) scan on the per-epoch resize path.
+        self._owner_pages: Dict[str, int] = {}
         self._blocks: List[BlockAccounting] = [
             BlockAccounting() for _ in range(self.num_blocks)]
         self._offlined_pages = 0
@@ -154,6 +158,8 @@ class PhysicalMemoryManager:
     def _register(self, extent: PageExtent) -> None:
         self._extents[extent.pfn] = extent
         self._owners.setdefault(extent.owner_id, set()).add(extent.pfn)
+        self._owner_pages[extent.owner_id] = (
+            self._owner_pages.get(extent.owner_id, 0) + extent.pages)
         acct = self._blocks[extent.pfn // self.block_pages]
         acct.used_pages += extent.pages
         acct.extents.add(extent.pfn)
@@ -164,8 +170,12 @@ class PhysicalMemoryManager:
         del self._extents[extent.pfn]
         owner_set = self._owners[extent.owner_id]
         owner_set.remove(extent.pfn)
-        if not owner_set:
+        remaining = self._owner_pages[extent.owner_id] - extent.pages
+        if owner_set:
+            self._owner_pages[extent.owner_id] = remaining
+        else:
             del self._owners[extent.owner_id]
+            del self._owner_pages[extent.owner_id]
         acct = self._blocks[extent.pfn // self.block_pages]
         acct.used_pages -= extent.pages
         acct.extents.remove(extent.pfn)
@@ -262,7 +272,7 @@ class PhysicalMemoryManager:
         return self.online_pages - self.free_pages
 
     def owner_pages(self, owner_id: str) -> int:
-        return sum(self._extents[p].pages for p in self._owners.get(owner_id, ()))
+        return self._owner_pages.get(owner_id, 0)
 
     def owners(self) -> Iterable[str]:
         return self._owners.keys()

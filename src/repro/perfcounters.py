@@ -1,0 +1,54 @@
+"""Process-global simulation-performance counters.
+
+The fast-forward layer and the memoized power model count their work
+here (cache hits/misses, epochs stepped vs analytically skipped).  The
+counters are plain module state, mirroring the fault-injection context:
+each pool worker accumulates its own, and the runner drains them at the
+process that ran the job so they survive the trip back from workers and
+land in the ``job_end`` JSONL metrics events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class PerfCounters:
+    """Cheap integer counters on the simulation hot path."""
+
+    power_cache_hits: int = 0
+    power_cache_misses: int = 0
+    epochs_stepped: int = 0
+    epochs_fast_forwarded: int = 0
+    fast_forward_windows: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Non-zero counters only, so quiet jobs emit nothing."""
+        fields = {
+            "power_cache_hits": self.power_cache_hits,
+            "power_cache_misses": self.power_cache_misses,
+            "epochs_stepped": self.epochs_stepped,
+            "epochs_fast_forwarded": self.epochs_fast_forwarded,
+            "fast_forward_windows": self.fast_forward_windows,
+        }
+        return {key: value for key, value in fields.items() if value}
+
+    def reset(self) -> None:
+        self.power_cache_hits = 0
+        self.power_cache_misses = 0
+        self.epochs_stepped = 0
+        self.epochs_fast_forwarded = 0
+        self.fast_forward_windows = 0
+
+
+#: The process-wide accumulator the hot paths increment directly.
+GLOBAL = PerfCounters()
+
+
+def drain_perf_counters() -> Dict[str, int]:
+    """Snapshot and clear the process counters (one job's worth)."""
+    snapshot = GLOBAL.as_dict()
+    GLOBAL.reset()
+    return snapshot

@@ -15,8 +15,9 @@ gate-leakage residual (``DPD_RESIDUAL_FRACTION``).  Spare repair rows
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
+from repro import perfcounters
 from repro.dram.organization import MemoryOrganization
 from repro.dram.timing import DDR4Timing, DDR4_2133, DDR4_2133_8GB
 from repro.errors import ConfigurationError
@@ -130,6 +131,26 @@ class DRAMPowerBreakdown:
 
 ZERO_BREAKDOWN = DRAMPowerBreakdown(0.0, 0.0, 0.0, 0.0, 0.0)
 
+#: Bound on the busy-power memo; reached only by sweeps over thousands
+#: of distinct operating points, at which point the dict is cleared.
+_BUSY_CACHE_MAX = 4096
+
+
+@dataclass
+class PowerCacheStats:
+    """Hit/miss counters of one model's busy-power memo."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
 
 class DevicePowerModel:
     """Power of a single DRAM device given its IDD table."""
@@ -175,6 +196,9 @@ class DRAMPowerModel:
         self.idd = idd or _idd_for(organization.device)
         self.energies = energies or _energies_for(organization.device)
         self.device_model = DevicePowerModel(self.idd, timing)
+        self._busy_cache: Dict[Tuple[float, float, float, float],
+                               DRAMPowerBreakdown] = {}
+        self.cache_stats = PowerCacheStats()
 
     # --- rank-level -------------------------------------------------------
 
@@ -236,3 +260,35 @@ class DRAMPowerModel:
             self.organization, total_bandwidth_bytes_per_s,
             state_residency=residency, row_miss_rate=row_miss_rate,
             dpd_fraction=dpd_fraction))
+
+    def busy_power_cached(self, total_bandwidth_bytes_per_s: float,
+                          active_residency: float = 1.0,
+                          row_miss_rate: float = 0.5,
+                          dpd_fraction: float = 0.0) -> DRAMPowerBreakdown:
+        """Memoized :meth:`busy_power`.
+
+        The evaluation is pure in its four float arguments (the daemon's
+        gated fraction is the only system state, passed explicitly as
+        ``dpd_fraction``) and :class:`DRAMPowerBreakdown` is frozen, so
+        cached instances are safe to share.  The epoch simulator asks for
+        the same operating point thousands of times per run; hits and
+        misses land in :data:`repro.perfcounters.GLOBAL` for the metrics
+        bus and in :attr:`cache_stats` for per-model inspection.
+        """
+        key = (total_bandwidth_bytes_per_s, active_residency,
+               row_miss_rate, dpd_fraction)
+        cached = self._busy_cache.get(key)
+        if cached is not None:
+            self.cache_stats.hits += 1
+            perfcounters.GLOBAL.power_cache_hits += 1
+            return cached
+        result = self.busy_power(total_bandwidth_bytes_per_s,
+                                 active_residency=active_residency,
+                                 row_miss_rate=row_miss_rate,
+                                 dpd_fraction=dpd_fraction)
+        if len(self._busy_cache) >= _BUSY_CACHE_MAX:
+            self._busy_cache.clear()
+        self._busy_cache[key] = result
+        self.cache_stats.misses += 1
+        perfcounters.GLOBAL.power_cache_misses += 1
+        return result

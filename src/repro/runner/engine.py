@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 from repro.errors import ConfigurationError
 from repro.experiments.common import ExperimentResult
 from repro.faults.context import drain_fault_counts
+from repro.perfcounters import drain_perf_counters
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import ExperimentJob, execute_job
 from repro.runner.metrics import MetricsBus
@@ -38,6 +39,7 @@ class JobOutcome:
     cached: bool
     error: Optional[str] = None
     faults: Optional[Dict[str, int]] = None
+    perf: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -46,16 +48,18 @@ class JobOutcome:
 
 def _timed_execute(
         job: ExperimentJob,
-) -> Tuple[ExperimentResult, float, Dict[str, int]]:
-    """Worker entry point: run one job, return (result, wall s, faults).
+) -> Tuple[ExperimentResult, float, Dict[str, int], Dict[str, int]]:
+    """Worker entry point: run one job, return (result, wall s, faults,
+    perf counters).
 
-    The fault counters come from every injector the job's plan spawned
-    in this process — drained here, at the process that ran the job, so
-    they survive the trip back from pool workers.
+    The fault and perf counters come from the process-global
+    accumulators of the process that ran the job — drained here so they
+    survive the trip back from pool workers.
     """
     start = time.perf_counter()
     result = execute_job(job)
-    return result, time.perf_counter() - start, drain_fault_counts()
+    return (result, time.perf_counter() - start, drain_fault_counts(),
+            drain_perf_counters())
 
 
 class ParallelRunner:
@@ -106,7 +110,7 @@ class ParallelRunner:
     def _run_inline(self, job: ExperimentJob) -> JobOutcome:
         self.metrics.job_start(job.experiment)
         try:
-            result, wall, faults = _timed_execute(job)
+            result, wall, faults, perf = _timed_execute(job)
         except Exception:  # noqa: BLE001 — one bad job must not kill a sweep
             wall = 0.0
             message = traceback.format_exc(limit=8)
@@ -116,9 +120,9 @@ class ParallelRunner:
                               cached=False, error=message)
         self._store(job, result, wall)
         self.metrics.job_end(job.experiment, wall, cached=False,
-                             faults=faults)
+                             faults=faults, perf=perf)
         return JobOutcome(job=job, result=result, wall_s=wall, cached=False,
-                          faults=faults)
+                          faults=faults, perf=perf)
 
     def _run_pool(self, pending: Sequence[Tuple[int, ExperimentJob]],
                   outcomes: List[Optional[JobOutcome]]) -> None:
@@ -134,7 +138,7 @@ class ParallelRunner:
                 for future in done:
                     index, job = futures[future]
                     try:
-                        result, wall, faults = future.result()
+                        result, wall, faults, perf = future.result()
                     except Exception as err:  # noqa: BLE001
                         message = "".join(traceback.format_exception_only(
                             type(err), err)).strip()
@@ -146,10 +150,10 @@ class ParallelRunner:
                         continue
                     self._store(job, result, wall)
                     self.metrics.job_end(job.experiment, wall, cached=False,
-                                         faults=faults)
+                                         faults=faults, perf=perf)
                     outcomes[index] = JobOutcome(
                         job=job, result=result, wall_s=wall, cached=False,
-                        faults=faults)
+                        faults=faults, perf=perf)
 
     def _store(self, job: ExperimentJob, result: ExperimentResult,
                wall_s: float) -> None:

@@ -45,20 +45,24 @@ class MetricsBus:
 
     def job_end(self, experiment: str, wall_s: float, cached: bool,
                 error: Optional[str] = None,
-                faults: Optional[Dict[str, int]] = None) -> None:
+                faults: Optional[Dict[str, int]] = None,
+                perf: Optional[Dict[str, int]] = None) -> None:
         """Close a job.  *faults* is the injected-fault counter mapping
         (``op:error -> count``) drained from the job's fault injectors;
-        it lands in the JSONL event only when faults were injected."""
+        *perf* is the drained simulation perf-counter snapshot (power
+        cache hits/misses, epochs fast-forwarded/stepped).  Either lands
+        in the JSONL event only when non-empty."""
         if cached:
             self.cache_hits += 1
         else:
             self.cache_misses += 1
+        extra: Dict[str, object] = {}
         if faults:
-            self.emit("job_end", experiment=experiment, wall_s=wall_s,
-                      cached=cached, error=error, faults=faults)
-        else:
-            self.emit("job_end", experiment=experiment, wall_s=wall_s,
-                      cached=cached, error=error)
+            extra["faults"] = faults
+        if perf:
+            extra["perf"] = perf
+        self.emit("job_end", experiment=experiment, wall_s=wall_s,
+                  cached=cached, error=error, **extra)
 
     # --- aggregation -------------------------------------------------------
 

@@ -1,0 +1,97 @@
+"""Quiescence fast-forward support for the epoch-stepped simulator.
+
+The :class:`~repro.sim.server.ServerSimulator` steps the whole
+OS/KSM/daemon/power stack once per epoch even when nothing can happen.
+This module supplies the pieces that let it recognize such *quiescent
+windows* — spans of epochs in which no trace event, footprint change,
+daemon threshold crossing, or fault-plan window boundary can occur — and
+advance through them in a tight loop that synthesizes the identical
+:class:`~repro.sim.server.EpochSample` stream.
+
+Bit-for-bit equivalence is the contract, which shapes the design:
+
+* energy is still accumulated one ``+= power * epoch_s`` per epoch (a
+  closed-form ``power * epoch_s * n`` would re-associate the float sum);
+* the simulated clock advances through :class:`SimClock` with the same
+  ``now_s += epoch_s`` op sequence in both paths;
+* the daemon's monitor timer ticks via
+  :meth:`~repro.core.daemon.GreenDIMMDaemon.tick_quiescent`, a bit-exact
+  mirror of its ``step`` arithmetic;
+* pinned-churn epochs still call the real churn routine (preserving the
+  RNG stream); the window closes the moment churn perturbs memory;
+* the fast path never opens a window while a fault-plan rule is live
+  (:meth:`~repro.faults.injector.FaultInjector.quiescent_until`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:
+    from repro.core.system import GreenDIMMSystem
+
+
+@dataclass
+class SimClock:
+    """The run loop's epoch clock.
+
+    Fast and slow paths share one instance, so the accumulated ``now_s``
+    goes through the identical sequence of float additions regardless of
+    which path executed each epoch.
+    """
+
+    epoch_s: float
+    now_s: float = 0.0
+
+    def tick(self) -> None:
+        """Advance by one epoch (the only way time moves in a run)."""
+        self.now_s += self.epoch_s
+
+
+@dataclass
+class FastForwardStats:
+    """Per-run accounting of the fast-forward layer."""
+
+    windows: int = 0
+    epochs_fast_forwarded: int = 0
+    epochs_stepped: int = 0
+
+    @property
+    def epochs_total(self) -> int:
+        return self.epochs_fast_forwarded + self.epochs_stepped
+
+    @property
+    def fast_forward_fraction(self) -> float:
+        total = self.epochs_total
+        return self.epochs_fast_forwarded / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"windows": self.windows,
+                "epochs_fast_forwarded": self.epochs_fast_forwarded,
+                "epochs_stepped": self.epochs_stepped}
+
+
+def quiescent_horizon(system: "GreenDIMMSystem", now_s: float) -> float:
+    """How far the *system side* of the simulation is steady, from *now_s*.
+
+    Returns *now_s* itself when the system is not quiescent right now:
+    the daemon's monitor would act (free memory outside the hysteresis
+    band), KSM has registered regions to scan (or a just-completed pass
+    that would kick the monitor), or a fault rule is live.  Otherwise
+    returns the earliest future time system activity could resume — the
+    next fault-rule start, or ``inf``.
+
+    Callers intersect this with their own workload-side horizon (next
+    trace event, end of the footprint's flat run).
+    """
+    if not system.daemon.monitor_is_noop():
+        return now_s
+    ksm = system.ksm
+    if ksm is not None and (ksm.pass_just_completed or ksm.registry.regions()):
+        return now_s
+    injector = system.fault_injector
+    if injector is None:
+        return math.inf
+    return injector.quiescent_until(now_s)

@@ -21,6 +21,7 @@ blocks (Figure 7), near zero for footprint-stable services (Figure 11).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
 from repro.dram.organization import MemoryOrganization
@@ -95,6 +96,18 @@ def non_interleaved_point(organization: MemoryOrganization,
                              wake_penalty_ns=wake_penalty_ns)
 
 
+@lru_cache(maxsize=1)
+def _default_reference_point() -> MemorySystemPoint:
+    """The paper platform's interleaved operating point.
+
+    ``runtime_s`` falls back to this on every call; building the spec
+    server organization each time dominated hot run loops, and the point
+    is a frozen value, so one shared instance is safe to reuse.
+    """
+    from repro.dram.organization import spec_server_memory
+    return interleaved_point(spec_server_memory())
+
+
 class PerformanceModel:
     """Runtime and slowdown estimates for workload profiles."""
 
@@ -133,8 +146,7 @@ class PerformanceModel:
         by the CPI ratio.
         """
         if reference is None:
-            from repro.dram.organization import spec_server_memory
-            reference = interleaved_point(spec_server_memory())
+            reference = _default_reference_point()
         ratio = self.cpi(profile, point, n_copies) / self.cpi(
             profile, reference, n_copies)
         return profile.duration_s * ratio

@@ -22,6 +22,15 @@ PAGE_SIZE: int = 4 * KIB
 #: Default Linux memory-block size for on/off-lining on x86-64.
 DEFAULT_MEMORY_BLOCK_SIZE: int = 128 * MIB
 
+# --- bandwidth ---------------------------------------------------------------
+
+#: Aggregate DRAM bandwidth at which the simulator treats the memory
+#: system as fully active (active residency 1.0).  Roughly the sustained
+#: throughput of the evaluation platform's loaded channels; the server
+#: simulator maps achieved bandwidth / this peak onto the power model's
+#: ACTIVE_STANDBY residency.
+PEAK_DRAM_BANDWIDTH_BYTES_PER_S: float = 20e9
+
 # --- times ------------------------------------------------------------------
 
 NANOSECOND: float = 1e-9

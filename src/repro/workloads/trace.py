@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import bisect
+import math
 import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
@@ -52,6 +53,28 @@ class FootprintTrace:
         t1, b1 = self.points[i]
         frac = (time_s - t0) / (t1 - t0)
         return int(b0 + (b1 - b0) * frac)
+
+    def constant_until(self, time_s: float) -> float:
+        """End of the flat run containing *time_s* (``inf`` when it never
+        changes again, *time_s* itself when the trace is ramping).
+
+        The fast-forward layer may skip any query time ``u`` with
+        ``time_s <= u < constant_until(time_s)`` knowing ``at(u)`` equals
+        ``at(time_s)``; the bound itself also satisfies the equality when
+        finite (it is the last point of the flat run).
+        """
+        times = [t for t, _ in self.points]
+        n = len(self.points)
+        if time_s >= times[-1]:
+            return math.inf
+        i = bisect.bisect_right(times, time_s)
+        if i > 0 and self.points[i - 1][1] != self.points[i][1]:
+            return time_s  # inside a ramp: no flat run to skip
+        while i + 1 < n and self.points[i][1] == self.points[i + 1][1]:
+            i += 1
+        if i == n - 1:
+            return math.inf
+        return times[i]
 
     def scaled(self, factor: float) -> "FootprintTrace":
         return FootprintTrace(tuple((t, int(b * factor)) for t, b in self.points))

@@ -62,3 +62,11 @@ class TestMixRun:
         system = GreenDIMMSystem(seed=9)
         with pytest.raises(ConfigurationError):
             ServerSimulator(system, seed=9).run_mix([])
+
+    def test_energy_convention_matches_run_workload(self, mix_run):
+        # Both entry points scale integrated power by runtime dilation;
+        # a mix is elongated by its slowest tenant.
+        result, _sim = mix_run
+        raw = sum(s.dram_power_w for s in result.samples) * 2.0
+        assert result.dram_energy_j == pytest.approx(
+            raw * (1.0 + result.worst_overhead))
