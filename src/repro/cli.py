@@ -5,7 +5,7 @@ Commands
 list-workloads          the synthetic workload catalog
 list-experiments        every reproducible table/figure
 run EXPERIMENT... [--fast] [--parallel N] [--cache-dir DIR]
-                 [--fault-plan FILE]
+                 [--fault-plan FILE] [--no-fast-forward]
                         regenerate tables/figures (``all`` = whole suite)
 simulate WORKLOAD       run a workload under the GreenDIMM daemon
 bench [--full] [--out FILE]
@@ -88,7 +88,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.faults import FaultPlan
 
         plan_json = FaultPlan.from_file(args.fault_plan).canonical()
-    jobs = suite_jobs(requested, fast=args.fast, fault_plan=plan_json)
+    jobs = suite_jobs(requested, fast=args.fast, fault_plan=plan_json,
+                      fast_forward=not args.no_fast_forward)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     metrics = MetricsBus(path=args.metrics)
     engine = ParallelRunner(workers=args.parallel, cache=cache,
@@ -253,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--fault-plan", default=None, metavar="FILE",
                        help="inject the fault plan in FILE into every "
                             "system the experiments build")
+    run_p.add_argument("--no-fast-forward", action="store_true",
+                       help="force per-epoch stepping through quiescent "
+                            "spans in every simulator the experiments "
+                            "build (results are identical either way; "
+                            "the flag keys the result cache)")
     run_p.set_defaults(func=cmd_run)
 
     sim_p = sub.add_parser("simulate", help="run a workload under GreenDIMM")

@@ -27,7 +27,7 @@ from repro.experiments.blocksize_study import study_organization
 from repro.experiments.common import ExperimentResult
 from repro.faults import FaultPlan, storm_plan
 from repro.sim.server import ServerSimulator
-from repro.units import MIB, PAGE_SIZE
+from repro.units import MIB
 
 #: Storm intensities: expected injected-fault windows per 4 s of run.
 INTENSITIES: Tuple[Tuple[str, float], ...] = (

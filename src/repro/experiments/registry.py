@@ -21,6 +21,7 @@ def runners() -> Dict[str, Callable[..., ExperimentResult]]:
         fig02_idle_busy,
         fig03_interleaving,
         fault_storm,
+        fleet,
         fig08_failures,
         fig12_offlined_blocks,
         fig13_capacity_scaling,
@@ -57,6 +58,7 @@ def runners() -> Dict[str, Callable[..., ExperimentResult]]:
         "daemon-overhead": daemon_overhead.run,
         "tail-latency": tail_latency.run,
         "fault-storm": fault_storm.run,
+        "fleet": fleet.run,
     }
 
 

@@ -12,6 +12,7 @@ from typing import Tuple
 from repro.core.config import GreenDIMMConfig
 from repro.core.system import GreenDIMMSystem
 from repro.dram.organization import azure_server_memory
+from repro.sim.kernel import fast_forward_default
 from repro.sim.server import ServerSimulator, VMTraceRunResult
 from repro.units import GIB
 from repro.workloads.azure import AzureTrace, AzureTraceGenerator
@@ -32,17 +33,28 @@ def make_trace(fast: bool = False, seed: int = 7) -> AzureTrace:
         physical_cores=16, duration_s=duration, seed=seed).generate()
 
 
-@functools.lru_cache(maxsize=4)
 def replay(enable_ksm: bool, fast: bool = False
            ) -> Tuple[VMTraceRunResult, "GreenDIMMSystem"]:
-    """Replay the trace against a GreenDIMM-managed 256GB server."""
+    """Replay the trace against a GreenDIMM-managed 256GB server.
+
+    Memoized per (ksm, fast, ambient fast-forward setting): the two
+    simulation paths are bit-for-bit identical, but a ``repro run
+    --no-fast-forward`` verification pass must not be served a memo
+    recorded by the fast path inside the same process.
+    """
+    return _replay_cached(enable_ksm, fast, fast_forward_default())
+
+
+@functools.lru_cache(maxsize=8)
+def _replay_cached(enable_ksm: bool, fast: bool, fast_forward: bool
+                   ) -> Tuple[VMTraceRunResult, "GreenDIMMSystem"]:
     config = GreenDIMMConfig(block_bytes=BLOCK_BYTES)
     system = GreenDIMMSystem(organization=azure_server_memory(),
                              config=config,
                              kernel_boot_bytes=KERNEL_BYTES,
                              enable_ksm=enable_ksm,
                              transient_failure_probability=0.85, seed=5)
-    simulator = ServerSimulator(system, seed=5)
+    simulator = ServerSimulator(system, seed=5, fast_forward=fast_forward)
     trace = make_trace(fast=fast)
     result = simulator.run_vm_trace(trace, epoch_s=10.0)
     return result, system

@@ -33,12 +33,21 @@ class ExperimentJob:
     cache keys.  The plan is activated process-globally around the run,
     so experiments that build systems without an explicit plan pick it
     up.
+
+    ``fast_forward`` mirrors ``repro run --no-fast-forward``: it sets
+    the process-wide simulator default for the duration of the job (see
+    :func:`repro.sim.kernel.fast_forward_scope`).  Although the two
+    paths are bit-for-bit identical by contract, the flag participates
+    in :meth:`config_hash` so a cached fast run can never alias a
+    reference run — that equivalence must stay *checkable* from cold
+    caches.
     """
 
     experiment: str
     fast: bool = False
     seed: Optional[int] = None
     fault_plan: Optional[str] = None
+    fast_forward: bool = True
 
     @property
     def job_seed(self) -> int:
@@ -52,22 +61,30 @@ class ExperimentJob:
         """Hash of everything about this job that can change its output."""
         payload = json.dumps(
             {"experiment": self.experiment, "fast": self.fast,
-             "seed": self.job_seed, "fault_plan": self.fault_plan},
+             "seed": self.job_seed, "fault_plan": self.fault_plan,
+             "fast_forward": self.fast_forward},
             sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
-        return f"{self.experiment}{' (fast)' if self.fast else ''}"
+        tags = []
+        if self.fast:
+            tags.append("fast")
+        if not self.fast_forward:
+            tags.append("no-ff")
+        return self.experiment + (f" ({', '.join(tags)})" if tags else "")
 
 
 def suite_jobs(names: Optional[Sequence[str]] = None,
                fast: bool = False,
-               fault_plan: Optional[str] = None) -> List[ExperimentJob]:
+               fault_plan: Optional[str] = None,
+               fast_forward: bool = True) -> List[ExperimentJob]:
     """Jobs for *names* (or the whole registry), in registry order.
 
     ``"all"`` anywhere in *names* expands to the full registered suite.
     Unknown names raise :class:`ConfigurationError` before anything runs.
-    *fault_plan* (canonical JSON, or ``None``) is stamped onto every job.
+    *fault_plan* (canonical JSON, or ``None``) and *fast_forward* are
+    stamped onto every job.
     """
     from repro.experiments.registry import runners
 
@@ -81,7 +98,8 @@ def suite_jobs(names: Optional[Sequence[str]] = None,
             raise ConfigurationError(
                 f"unknown experiment(s) {', '.join(sorted(unknown))}; "
                 f"known: {', '.join(sorted(table))}")
-    return [ExperimentJob(experiment=name, fast=fast, fault_plan=fault_plan)
+    return [ExperimentJob(experiment=name, fast=fast, fault_plan=fault_plan,
+                          fast_forward=fast_forward)
             for name in selected]
 
 
@@ -92,14 +110,16 @@ def execute_job(job: ExperimentJob) -> ExperimentResult:
     carry their own seeded ``random.Random`` instances, but this guards
     any stray module-level randomness so the serial and parallel paths
     produce bitwise-identical results.  A fault plan on the job is
-    activated process-globally for the duration of the run.
+    activated process-globally for the duration of the run, and so is
+    the job's fast-forward setting.
     """
     from repro.experiments.registry import run_experiment
     from repro.faults.context import active_plan
     from repro.faults.plan import FaultPlan
+    from repro.sim.kernel import fast_forward_scope
 
     random.seed(job.job_seed)
     plan = (FaultPlan.from_json(job.fault_plan)
             if job.fault_plan is not None else None)
-    with active_plan(plan):
+    with active_plan(plan), fast_forward_scope(job.fast_forward):
         return run_experiment(job.experiment, fast=job.fast)

@@ -11,6 +11,32 @@ The analytic performance model bridges them: it converts memory-system
 operating points and daemon activity into execution-time factors.
 """
 
+from repro.sim.experiment import (
+    POLICIES,
+    PolicyResult,
+    evaluate_policies,
+    normalized,
+)
+from repro.sim.fleet import (
+    FleetRunResult,
+    FleetServerJob,
+    FleetServerResult,
+    FleetSource,
+    run_fleet,
+    run_fleet_server,
+)
+from repro.sim.kernel import (
+    EpochKernel,
+    EpochSample,
+    KernelRun,
+    MixSource,
+    ProfileSource,
+    TraceSource,
+    WorkloadSource,
+    fast_forward_default,
+    fast_forward_scope,
+    set_fast_forward_default,
+)
 from repro.sim.perfmodel import (
     MemorySystemPoint,
     PerformanceModel,
@@ -18,31 +44,39 @@ from repro.sim.perfmodel import (
     non_interleaved_point,
 )
 from repro.sim.server import (
-    EpochSample,
     MixRunResult,
     ServerSimulator,
     VMTraceRunResult,
     WorkloadRunResult,
 )
-from repro.sim.experiment import (
-    PolicyResult,
-    evaluate_policies,
-    normalized,
-    POLICIES,
-)
 
 __all__ = [
+    "EpochKernel",
+    "EpochSample",
+    "FleetRunResult",
+    "FleetServerJob",
+    "FleetServerResult",
+    "FleetSource",
+    "KernelRun",
     "MemorySystemPoint",
+    "MixRunResult",
+    "MixSource",
     "PerformanceModel",
+    "POLICIES",
+    "PolicyResult",
+    "ProfileSource",
+    "ServerSimulator",
+    "TraceSource",
+    "VMTraceRunResult",
+    "WorkloadRunResult",
+    "WorkloadSource",
+    "evaluate_policies",
+    "fast_forward_default",
+    "fast_forward_scope",
     "interleaved_point",
     "non_interleaved_point",
-    "ServerSimulator",
-    "WorkloadRunResult",
-    "MixRunResult",
-    "VMTraceRunResult",
-    "EpochSample",
-    "PolicyResult",
-    "evaluate_policies",
     "normalized",
-    "POLICIES",
+    "run_fleet",
+    "run_fleet_server",
+    "set_fast_forward_default",
 ]

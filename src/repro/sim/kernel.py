@@ -1,0 +1,541 @@
+"""The event-driven simulation kernel behind every ``run_*`` loop.
+
+Before this module existed, :class:`~repro.sim.server.ServerSimulator`
+carried three hand-rolled epoch drivers (``run_workload``,
+``run_vm_trace``, ``run_mix``) that each owned their own clock, warmup,
+fast-forward gating, sampling, and energy accounting.  They diverged
+once (the mix energy-convention bug) and each had to re-implement
+quiescence gating separately.  The kernel extracts the loop once:
+
+* :class:`WorkloadSource` is what a run *is* — the operating point at
+  ``t``, the discrete events to apply at ``t``, and a ``horizon(t)``
+  bound promising nothing workload-side happens before it;
+* :class:`EpochKernel` is how a run *executes* — it owns the
+  :class:`~repro.sim.fastforward.SimClock`, the warmup spin-up, the
+  quiescence fast-forward gating, per-epoch sampling, energy/overhead
+  accounting, and the stats reset/publish lifecycle.
+
+Bit-for-bit equivalence with the pre-kernel loops is the contract
+(pinned by ``tests/golden/kernel_golden.json``): the kernel performs the
+identical sequence of float operations, RNG draws, and stat increments,
+so samples, energies, and daemon statistics are exactly what the
+hand-rolled loops produced — with fast-forward on *or* off.
+
+The module also hosts the process-wide fast-forward default that lets
+``repro run --no-fast-forward`` reach simulators built deep inside
+experiment modules (mirroring the fault-plan context in
+:mod:`repro.faults.context`).
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Protocol,
+    Tuple,
+)
+
+from repro import perfcounters
+from repro.core.daemon import DaemonStats
+from repro.errors import ConfigurationError
+from repro.ksm.content import RegionContent
+from repro.os.hotplug import HotplugStats
+from repro.power.model import PowerCacheStats
+from repro.sim.fastforward import FastForwardStats, SimClock, quiescent_horizon
+from repro.units import PAGE_SIZE, PEAK_DRAM_BANDWIDTH_BYTES_PER_S
+from repro.workloads.azure import AzureTrace
+from repro.workloads.profiles import WorkloadProfile
+
+if TYPE_CHECKING:
+    from repro.sim.server import ServerSimulator
+
+
+# --- process-wide fast-forward default --------------------------------------
+
+_fast_forward_default = True
+
+
+def fast_forward_default() -> bool:
+    """The ambient fast-forward setting for simulators that don't pick."""
+    return _fast_forward_default
+
+
+def set_fast_forward_default(enabled: bool) -> None:
+    """Set the process-wide default (``repro run --no-fast-forward``)."""
+    global _fast_forward_default
+    _fast_forward_default = enabled
+
+
+@contextmanager
+def fast_forward_scope(enabled: bool) -> Iterator[None]:
+    """Scope the ambient default to a ``with`` block, restoring after."""
+    previous = _fast_forward_default
+    set_fast_forward_default(enabled)
+    try:
+        yield
+    finally:
+        set_fast_forward_default(previous)
+
+
+# --- observables -------------------------------------------------------------
+
+
+class EpochSample(NamedTuple):
+    """One epoch's observables.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the kernel builds
+    one per simulated epoch (hundreds of thousands per trace replay), and
+    tuple construction is several times cheaper than a dataclass
+    ``__init__`` while keeping the same field access and equality.
+    """
+
+    time_s: float
+    used_pages: int
+    free_pages: int
+    offline_blocks: int
+    dpd_fraction: float
+    dram_power_w: float
+
+
+@dataclass
+class KernelRun:
+    """What one kernel execution accumulated, before result shaping.
+
+    The ``run_*`` wrappers in :mod:`repro.sim.server` turn this into
+    their public result types (applying, e.g., the overhead energy
+    convention); the raw sums here are exactly what the loop integrated.
+    """
+
+    samples: List[EpochSample]
+    dram_energy_j: float
+    baseline_dram_energy_j: float
+    swap_stall_s: float
+    duration_s: float
+
+
+# --- the source protocol -----------------------------------------------------
+
+
+class WorkloadSource(Protocol):
+    """What the kernel needs to know about a workload.
+
+    ``duration_s`` bounds the run.  Each epoch the kernel calls
+    :meth:`apply` (discrete events, footprint resizes) before stepping
+    the system, then :meth:`operating_point` for the epoch's bandwidth
+    and row-miss rate.  :meth:`horizon` is the fast-forward contract:
+    return a time strictly greater than *t* only if no workload-side
+    activity (event, footprint change, pending resize) can occur before
+    it; return *t* itself to veto fast-forwarding this epoch.  The
+    kernel intersects the workload horizon with the system-side
+    :func:`~repro.sim.fastforward.quiescent_horizon`.
+    """
+
+    duration_s: float
+
+    def prepare(self) -> None:
+        """Establish initial footprints before warmup begins."""
+
+    def apply(self, t: float) -> None:
+        """Apply this epoch's workload-side events at time *t*."""
+
+    def operating_point(self, t: float) -> Tuple[float, float]:
+        """``(bandwidth_bytes_per_s, row_miss_rate)`` at time *t*."""
+
+    def horizon(self, t: float) -> float:
+        """Earliest future workload-side activity (*t* itself: none now)."""
+
+
+# --- concrete sources --------------------------------------------------------
+
+
+@dataclass
+class ProfileSource:
+    """``n_copies`` of one profile with a time-varying footprint."""
+
+    sim: "ServerSimulator"
+    profile: WorkloadProfile
+    n_copies: int = 1
+    owner: str = "app"
+    shortfall_pages: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.duration_s = self.profile.duration_s
+        self._bandwidth = (self.profile.bandwidth_demand_bytes_per_s
+                           * self.n_copies)
+        self._row_miss = 1.0 - self.profile.row_hit_rate
+
+    def _target_pages(self, t: float) -> int:
+        return self.profile.footprint.at(t) * self.n_copies // PAGE_SIZE
+
+    def prepare(self) -> None:
+        initial = self._target_pages(0.0)
+        if initial:
+            self.sim._resize_owner(self.owner, initial, 0.0)
+
+    def apply(self, t: float) -> None:
+        self.shortfall_pages += self.sim._resize_owner(
+            self.owner, self._target_pages(t), t)
+
+    def operating_point(self, t: float) -> Tuple[float, float]:
+        return self._bandwidth, self._row_miss
+
+    def horizon(self, t: float) -> float:
+        if not self.sim._owner_steady(self.owner, self._target_pages(t)):
+            return t
+        flat_until = self.profile.footprint.constant_until(t)
+        if flat_until <= t:
+            return t
+        return flat_until
+
+
+@dataclass
+class TraceSource:
+    """An Azure-like VM arrival/departure trace replay.
+
+    VMs only move at trace events, so the workload-side horizon is
+    simply the next event's timestamp.  The run extends 300 s past the
+    last event so the daemon's tail behavior is observable.
+    """
+
+    sim: "ServerSimulator"
+    trace: AzureTrace
+    mean_vm_bandwidth_bytes_per_s: float = 0.4e9
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.trace.events, key=lambda e: e.time_s)
+        self.cursor = 0
+        self.running = 0
+        self.duration_s = max((e.time_s for e in self.events),
+                              default=0.0) + 300.0
+
+    def prepare(self) -> None:
+        pass
+
+    def apply(self, t: float) -> None:
+        sim = self.sim
+        ksm = sim.system.ksm
+        while self.cursor < len(self.events) \
+                and self.events[self.cursor].time_s <= t:
+            event = self.events[self.cursor]
+            self.cursor += 1
+            vm = event.instance
+            if event.kind == "arrive":
+                pages = vm.vm_type.memory_bytes // PAGE_SIZE
+                sim._resize_owner(vm.owner_id, pages, t, mergeable=True,
+                                  emergency=True)
+                self.running += 1
+                if ksm is not None:
+                    ksm.register(RegionContent(
+                        owner_id=vm.owner_id, total_pages=pages,
+                        image_id=vm.vm_type.image_id))
+            else:
+                if ksm is not None:
+                    ksm.unregister(vm.owner_id)
+                sim.system.mm.free_all(vm.owner_id)
+                sim.swap.release(vm.owner_id)
+                self.running = max(0, self.running - 1)
+
+    def operating_point(self, t: float) -> Tuple[float, float]:
+        return self.running * self.mean_vm_bandwidth_bytes_per_s, 0.5
+
+    def horizon(self, t: float) -> float:
+        if self.cursor < len(self.events):
+            next_event_s = self.events[self.cursor].time_s
+            return t if next_event_s <= t else next_event_s
+        return math.inf
+
+
+@dataclass
+class MixSource:
+    """Several profiles co-located in one physical memory."""
+
+    sim: "ServerSimulator"
+    profiles: List[WorkloadProfile]
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise ConfigurationError("need at least one profile")
+        self.duration_s = max(p.duration_s for p in self.profiles)
+        self.owners: Dict[str, WorkloadProfile] = {
+            f"mix{i}-{p.name}": p for i, p in enumerate(self.profiles)}
+        self._bandwidth = sum(p.bandwidth_demand_bytes_per_s
+                              for p in self.profiles)
+        self._row_miss = (sum((1.0 - p.row_hit_rate)
+                              * p.bandwidth_demand_bytes_per_s
+                              for p in self.profiles)
+                          / max(self._bandwidth, 1.0))
+
+    def prepare(self) -> None:
+        for owner, profile in self.owners.items():
+            initial = profile.footprint.at(0.0) // PAGE_SIZE
+            if initial:
+                self.sim._resize_owner(owner, initial, 0.0)
+
+    def apply(self, t: float) -> None:
+        for owner, profile in self.owners.items():
+            target = profile.footprint.at(min(t, profile.duration_s))
+            self.sim._resize_owner(owner, target // PAGE_SIZE, t)
+
+    def operating_point(self, t: float) -> Tuple[float, float]:
+        return self._bandwidth, self._row_miss
+
+    def horizon(self, t: float) -> float:
+        horizon = math.inf
+        for owner, profile in self.owners.items():
+            target = profile.footprint.at(min(t, profile.duration_s))
+            if not self.sim._owner_steady(owner, target // PAGE_SIZE):
+                return t
+            if t >= profile.duration_s:
+                continue  # clamped at its final footprint forever
+            flat_until = profile.footprint.constant_until(t)
+            if flat_until <= t:
+                return t
+            if flat_until < profile.duration_s:
+                horizon = min(horizon, flat_until)
+            # A flat run reaching duration_s keeps the clamped value
+            # constant beyond it, so it does not bound the horizon.
+        return horizon
+
+
+# --- the driver --------------------------------------------------------------
+
+
+class EpochKernel:
+    """Drives one :class:`WorkloadSource` against one simulator.
+
+    Owns everything the three hand-rolled loops used to duplicate: the
+    epoch clock, the warmup spin-up, quiescence fast-forward gating,
+    per-epoch sampling, energy integration, and the stats lifecycle
+    (reset before the measured span, publish to the process counters
+    after).
+    """
+
+    def __init__(self, sim: "ServerSimulator"):
+        self.sim = sim
+        self.system = sim.system
+
+    # --- stats lifecycle --------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero every per-run counter the measured span accumulates.
+
+        One reset path for all run shapes (``run_vm_trace`` used to
+        reset ``ff_stats`` inline and leak daemon/hot-plug counters
+        across back-to-back runs): daemon stats, hot-plug stats,
+        fast-forward accounting, and the power-model cache counters all
+        start clean.  The power memo itself survives — only its
+        hit/miss counters reset, so energies are unaffected.
+        """
+        self.system.daemon.stats = DaemonStats()
+        self.system.hotplug.stats = HotplugStats()
+        self.sim.ff_stats = FastForwardStats()
+        self.system.power_model.cache_stats = PowerCacheStats()
+
+    def _publish_ff_stats(self) -> None:
+        """Mirror the finished run's counters into the process totals."""
+        counters = perfcounters.GLOBAL
+        stats = self.sim.ff_stats
+        counters.epochs_stepped += stats.epochs_stepped
+        counters.epochs_fast_forwarded += stats.epochs_fast_forwarded
+        counters.fast_forward_windows += stats.windows
+
+    # --- sampling ---------------------------------------------------------
+
+    def _sample(self, now_s: float, bandwidth: float,
+                row_miss_rate: float) -> EpochSample:
+        system = self.system
+        info = system.mm.meminfo()
+        power = system.dram_power(
+            bandwidth_bytes_per_s=bandwidth,
+            active_residency=min(1.0, bandwidth
+                                 / PEAK_DRAM_BANDWIDTH_BYTES_PER_S),
+            row_miss_rate=row_miss_rate)
+        return EpochSample(time_s=now_s,
+                           used_pages=info.used_pages,
+                           free_pages=info.free_pages,
+                           offline_blocks=system.daemon.offline_block_count,
+                           dpd_fraction=system.daemon.dpd_fraction(),
+                           dram_power_w=power.total_w)
+
+    def _baseline_power_w(self, bandwidth: float,
+                          row_miss_rate: float) -> float:
+        """Ungated-baseline power at the epoch's operating point."""
+        return self.system.baseline_dram_power(
+            bandwidth_bytes_per_s=bandwidth,
+            active_residency=min(1.0, bandwidth
+                                 / PEAK_DRAM_BANDWIDTH_BYTES_PER_S),
+            row_miss_rate=row_miss_rate).total_w
+
+    # --- quiescence fast-forward ------------------------------------------
+
+    def _fast_forward_usable(self, churn: bool, epoch_s: float) -> bool:
+        """Can this run profit from the fast path at all?
+
+        With pinned churn expecting >= 1 arrival every epoch (``int``
+        part of rate x epoch), every epoch perturbs memory, so no window
+        could span more than one epoch — skip the detection overhead
+        entirely.
+        """
+        if not self.sim.fast_forward:
+            return False
+        if churn and self.sim.pinned_churn_rate_per_s * epoch_s >= 1.0:
+            return False
+        return True
+
+    def _fast_forward_window(self, clock: SimClock, end_s: float,
+                             bandwidth: float, row_miss_rate: float,
+                             churn: bool, samples: List[EpochSample],
+                             dram_energy: float, baseline_energy: float,
+                             ) -> Tuple[float, float]:
+        """Advance epochs in [clock.now_s, end_s) without stepping the stack.
+
+        The caller guarantees nothing can happen before *end_s*: owner
+        footprints are flat and already resident, the daemon's monitor
+        would no-op, KSM is idle, and no fault rule is live.  Each
+        skipped epoch appends a clone of one template sample and
+        accumulates energy with the same per-epoch float ops as the slow
+        path.  Pinned churn (the one remaining source of activity) still
+        runs for real each epoch, preserving the RNG stream; the moment
+        it perturbs memory the epoch is completed through the normal
+        machinery and the window closes.
+
+        Returns the updated ``(dram_energy, baseline_energy)``.
+        """
+        sim = self.sim
+        system = self.system
+        mm = system.mm
+        daemon = system.daemon
+        epoch_s = clock.epoch_s
+        stats = sim.ff_stats
+        stats.windows += 1
+        baseline_w = self._baseline_power_w(bandwidth, row_miss_rate)
+        if not churn:
+            # No per-epoch side effects at all: replay the remaining float
+            # arithmetic (monitor timer, clock, energy sums) as straight
+            # local-variable ops — the op sequence is identical, only the
+            # interpreter overhead of going through the objects is gone.
+            system.advance_time(clock.now_s)
+            template = self._sample(clock.now_s, bandwidth, row_miss_rate)
+            used = template.used_pages
+            free = template.free_pages
+            offline = template.offline_blocks
+            dpd = template.dpd_fraction
+            power_w = template.dram_power_w
+            append = samples.append
+            now = clock.now_s
+            since = daemon._since_monitor_s
+            period = daemon.config.monitor_period_s
+            skipped = 0
+            while now < end_s:
+                since += epoch_s
+                if since >= period:
+                    since = 0.0
+                append(EpochSample(time_s=now, used_pages=used,
+                                   free_pages=free, offline_blocks=offline,
+                                   dpd_fraction=dpd, dram_power_w=power_w))
+                dram_energy += power_w * epoch_s
+                baseline_energy += baseline_w * epoch_s
+                skipped += 1
+                now += epoch_s
+            daemon._since_monitor_s = since
+            clock.now_s = now
+            stats.epochs_fast_forwarded += skipped
+            return dram_energy, baseline_energy
+        template = None
+        while clock.now_s < end_s:
+            t = clock.now_s
+            system.advance_time(t)
+            if churn:
+                free_before = mm.free_pages
+                sim._pinned_churn(t, epoch_s)
+                if mm.free_pages != free_before:
+                    # Churn moved memory: finish this epoch on the slow
+                    # path (the pending resize is still a guaranteed
+                    # no-op) and hand control back to the outer loop.
+                    system.step(t, epoch_s)
+                    sample = self._sample(t, bandwidth, row_miss_rate)
+                    samples.append(sample)
+                    dram_energy += sample.dram_power_w * epoch_s
+                    baseline_energy += baseline_w * epoch_s
+                    stats.epochs_stepped += 1
+                    clock.tick()
+                    break
+            if template is None:
+                template = self._sample(t, bandwidth, row_miss_rate)
+            daemon.tick_quiescent(epoch_s)
+            samples.append(template._replace(time_s=t))
+            dram_energy += template.dram_power_w * epoch_s
+            baseline_energy += baseline_w * epoch_s
+            stats.epochs_fast_forwarded += 1
+            clock.tick()
+        return dram_energy, baseline_energy
+
+    # --- the unified run loop ---------------------------------------------
+
+    def run(self, source: WorkloadSource, epoch_s: float,
+            warmup_s: float = 0.0, pinned_churn: bool = True) -> KernelRun:
+        """Drive *source* from warmup to ``source.duration_s``.
+
+        The measured span starts at t=0 with freshly reset statistics;
+        warmup epochs (t < 0) step the full stack so the daemon settles,
+        exactly as the pre-kernel loops did.
+        """
+        if epoch_s <= 0:
+            raise ConfigurationError("epoch must be positive")
+        sim = self.sim
+        system = self.system
+        source.prepare()
+        t = -warmup_s
+        while t < 0:
+            system.step(t, epoch_s)
+            t += epoch_s
+        self.reset_stats()
+        swap_stall_before = sim.swap.stats.stall_s
+
+        samples: List[EpochSample] = []
+        dram_energy = 0.0
+        baseline_energy = 0.0
+        duration = source.duration_s
+        use_ff = self._fast_forward_usable(pinned_churn, epoch_s)
+        clock = SimClock(epoch_s)
+        while clock.now_s < duration:
+            t = clock.now_s
+            if use_ff:
+                horizon = source.horizon(t)
+                if horizon > t:
+                    horizon = min(horizon, quiescent_horizon(system, t))
+                if horizon > t + epoch_s:
+                    end = min(horizon, duration)
+                    bandwidth, row_miss = source.operating_point(t)
+                    dram_energy, baseline_energy = \
+                        self._fast_forward_window(
+                            clock, end, bandwidth, row_miss, pinned_churn,
+                            samples, dram_energy, baseline_energy)
+                    continue
+            system.advance_time(t)
+            source.apply(t)
+            if pinned_churn:
+                sim._pinned_churn(t, epoch_s)
+            system.step(t, epoch_s)
+            bandwidth, row_miss = source.operating_point(t)
+            sample = self._sample(t, bandwidth, row_miss)
+            samples.append(sample)
+            dram_energy += sample.dram_power_w * epoch_s
+            baseline_energy += self._baseline_power_w(bandwidth,
+                                                      row_miss) * epoch_s
+            sim.ff_stats.epochs_stepped += 1
+            clock.tick()
+        self._publish_ff_stats()
+        return KernelRun(samples=samples,
+                         dram_energy_j=dram_energy,
+                         baseline_dram_energy_j=baseline_energy,
+                         swap_stall_s=(sim.swap.stats.stall_s
+                                       - swap_stall_before),
+                         duration_s=duration)

@@ -1,56 +1,54 @@
 """Epoch-granularity server simulation.
 
 Drives a :class:`repro.core.GreenDIMMSystem` with either a single
-workload profile (SPEC / data-center runs) or an Azure-like VM trace,
-advancing the OS, KSM, and GreenDIMM daemon once per epoch and
-integrating DRAM/system energy as it goes.
+workload profile (SPEC / data-center runs), an Azure-like VM trace, or
+a co-located mix, advancing the OS, KSM, and GreenDIMM daemon once per
+epoch and integrating DRAM/system energy as it goes.
 
-Quiescent spans — no trace event, footprint change, daemon threshold
-crossing, or fault window in sight — are fast-forwarded through
-:mod:`repro.sim.fastforward`: the run loop synthesizes the identical
-per-epoch samples from one template instead of re-executing the whole
-stack, bit-for-bit equal to per-epoch stepping (pass
-``fast_forward=False`` to force the reference path).
+The run loops themselves live in :mod:`repro.sim.kernel`: each
+``run_*`` method here builds the matching
+:class:`~repro.sim.kernel.WorkloadSource` and hands it to one
+:class:`~repro.sim.kernel.EpochKernel`, which owns the clock, warmup,
+quiescence fast-forward gating (see :mod:`repro.sim.fastforward`),
+sampling, and stats lifecycle.  Fast-forwarded runs are bit-for-bit
+identical to per-epoch stepping (pass ``fast_forward=False`` to force
+the reference path).
 """
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import List, NamedTuple, Optional
+from typing import TYPE_CHECKING, List, Optional
 
-from repro import perfcounters
-from repro.core.system import GreenDIMMSystem
-from repro.errors import AllocationError, ConfigurationError
-from repro.os.hotplug import HotplugStats
+from repro.errors import AllocationError
 from repro.os.page import OwnerKind
 from repro.os.swap import SwapSpace
 from repro.power.idd import DPD_RESIDUAL_FRACTION, SPARE_ROW_FRACTION
 from repro.power.system import SystemPowerModel
-from repro.sim.fastforward import FastForwardStats, SimClock, quiescent_horizon
+from repro.sim.fastforward import FastForwardStats
+from repro.sim.kernel import (
+    EpochKernel,
+    EpochSample,
+    MixSource,
+    ProfileSource,
+    TraceSource,
+    fast_forward_default,
+)
 from repro.sim.perfmodel import PerformanceModel
-from repro.units import PAGE_SIZE, PEAK_DRAM_BANDWIDTH_BYTES_PER_S
 from repro.workloads.azure import AzureTrace
 from repro.workloads.profiles import WorkloadProfile
-from repro.ksm.content import RegionContent
 
+if TYPE_CHECKING:
+    from repro.core.system import GreenDIMMSystem
 
-class EpochSample(NamedTuple):
-    """One epoch's observables.
-
-    A ``NamedTuple`` rather than a frozen dataclass: the run loops build
-    one per simulated epoch (hundreds of thousands per trace replay), and
-    tuple construction is several times cheaper than a dataclass
-    ``__init__`` while keeping the same field access and equality.
-    """
-
-    time_s: float
-    used_pages: int
-    free_pages: int
-    offline_blocks: int
-    dpd_fraction: float
-    dram_power_w: float
+__all__ = [
+    "EpochSample",
+    "MixRunResult",
+    "ServerSimulator",
+    "VMTraceRunResult",
+    "WorkloadRunResult",
+]
 
 
 @dataclass
@@ -175,16 +173,22 @@ class _PinnedExtent:
 
 
 class ServerSimulator:
-    """Runs workloads/traces against one GreenDIMM-managed server."""
+    """Runs workloads/traces against one GreenDIMM-managed server.
 
-    def __init__(self, system: GreenDIMMSystem,
+    ``fast_forward=None`` (the default) adopts the process-wide setting
+    (see :func:`repro.sim.kernel.fast_forward_default`), which is how
+    ``repro run --no-fast-forward`` reaches simulators built inside
+    experiment modules; pass an explicit bool to pin the path.
+    """
+
+    def __init__(self, system: "GreenDIMMSystem",
                  perf: Optional[PerformanceModel] = None,
                  system_power: Optional[SystemPowerModel] = None,
                  swap: Optional[SwapSpace] = None,
                  pinned_churn_rate_per_s: float = 0.3,
                  pinned_lifetime_s: float = 45.0,
                  seed: int = 5,
-                 fast_forward: bool = True):
+                 fast_forward: Optional[bool] = None):
         self.system = system
         self.perf = perf or PerformanceModel()
         self.system_power = system_power or SystemPowerModel()
@@ -196,9 +200,12 @@ class ServerSimulator:
         self._pin_seq = 0
         #: Skip quiescent epochs analytically (results are bit-for-bit
         #: identical either way; ``False`` forces per-epoch stepping).
-        self.fast_forward = fast_forward
+        self.fast_forward = (fast_forward_default() if fast_forward is None
+                             else fast_forward)
         #: Fast-forward accounting of the most recent ``run_*`` call.
         self.ff_stats = FastForwardStats()
+        #: The unified run-loop driver every ``run_*`` method goes through.
+        self.kernel = EpochKernel(self)
 
     # --- shared plumbing ------------------------------------------------------
 
@@ -313,181 +320,15 @@ class ServerSimulator:
                 owner_seq=self._pin_seq,
                 expires_s=now_s + self.rng.expovariate(1.0 / self.pinned_lifetime_s)))
 
-    def _sample(self, now_s: float, bandwidth: float,
-                row_miss_rate: float) -> EpochSample:
-        info = self.system.mm.meminfo()
-        power = self.system.dram_power(
-            bandwidth_bytes_per_s=bandwidth,
-            active_residency=min(1.0, bandwidth
-                                 / PEAK_DRAM_BANDWIDTH_BYTES_PER_S),
-            row_miss_rate=row_miss_rate)
-        return EpochSample(time_s=now_s,
-                           used_pages=info.used_pages,
-                           free_pages=info.free_pages,
-                           offline_blocks=self.system.daemon.offline_block_count,
-                           dpd_fraction=self.system.daemon.dpd_fraction(),
-                           dram_power_w=power.total_w)
-
-    def _baseline_power_w(self, bandwidth: float, row_miss_rate: float) -> float:
-        """Ungated-baseline power at the epoch's operating point."""
-        return self.system.baseline_dram_power(
-            bandwidth_bytes_per_s=bandwidth,
-            active_residency=min(1.0, bandwidth
-                                 / PEAK_DRAM_BANDWIDTH_BYTES_PER_S),
-            row_miss_rate=row_miss_rate).total_w
-
-    def _reset_stats(self) -> None:
-        from repro.core.daemon import DaemonStats
-
-        self.system.daemon.stats = DaemonStats()
-        self.system.hotplug.stats = HotplugStats()
-        self.ff_stats = FastForwardStats()
-
-    def _publish_ff_stats(self) -> None:
-        """Mirror the finished run's counters into the process totals."""
-        counters = perfcounters.GLOBAL
-        counters.epochs_stepped += self.ff_stats.epochs_stepped
-        counters.epochs_fast_forwarded += self.ff_stats.epochs_fast_forwarded
-        counters.fast_forward_windows += self.ff_stats.windows
-
-    # --- quiescence fast-forward ----------------------------------------------
-
-    def _fast_forward_usable(self, churn: bool, epoch_s: float) -> bool:
-        """Can this run profit from the fast path at all?
-
-        With pinned churn expecting >= 1 arrival every epoch (``int`` part
-        of rate x epoch), every epoch perturbs memory, so no window could
-        span more than one epoch — skip the detection overhead entirely.
-        """
-        if not self.fast_forward:
-            return False
-        if churn and self.pinned_churn_rate_per_s * epoch_s >= 1.0:
-            return False
-        return True
-
-    def _fast_forward_window(self, clock: SimClock, end_s: float,
-                             bandwidth: float, row_miss_rate: float,
-                             churn: bool, samples: List[EpochSample],
-                             dram_energy: float, baseline_energy: float,
-                             ) -> "tuple[float, float]":
-        """Advance epochs in [clock.now_s, end_s) without stepping the stack.
-
-        The caller guarantees nothing can happen before *end_s*: owner
-        footprints are flat and already resident, the daemon's monitor
-        would no-op, KSM is idle, and no fault rule is live.  Each
-        skipped epoch appends a clone of one template sample and
-        accumulates energy with the same per-epoch float ops as the slow
-        path.  Pinned churn (the one remaining source of activity) still
-        runs for real each epoch, preserving the RNG stream; the moment
-        it perturbs memory the epoch is completed through the normal
-        machinery and the window closes.
-
-        Returns the updated ``(dram_energy, baseline_energy)``.
-        """
-        system = self.system
-        mm = system.mm
-        daemon = system.daemon
-        epoch_s = clock.epoch_s
-        stats = self.ff_stats
-        stats.windows += 1
-        baseline_w = self._baseline_power_w(bandwidth, row_miss_rate)
-        if not churn:
-            # No per-epoch side effects at all: replay the remaining float
-            # arithmetic (monitor timer, clock, energy sums) as straight
-            # local-variable ops — the op sequence is identical, only the
-            # interpreter overhead of going through the objects is gone.
-            system.advance_time(clock.now_s)
-            template = self._sample(clock.now_s, bandwidth, row_miss_rate)
-            used = template.used_pages
-            free = template.free_pages
-            offline = template.offline_blocks
-            dpd = template.dpd_fraction
-            power_w = template.dram_power_w
-            append = samples.append
-            now = clock.now_s
-            since = daemon._since_monitor_s
-            period = daemon.config.monitor_period_s
-            skipped = 0
-            while now < end_s:
-                since += epoch_s
-                if since >= period:
-                    since = 0.0
-                append(EpochSample(time_s=now, used_pages=used,
-                                   free_pages=free, offline_blocks=offline,
-                                   dpd_fraction=dpd, dram_power_w=power_w))
-                dram_energy += power_w * epoch_s
-                baseline_energy += baseline_w * epoch_s
-                skipped += 1
-                now += epoch_s
-            daemon._since_monitor_s = since
-            clock.now_s = now
-            stats.epochs_fast_forwarded += skipped
-            return dram_energy, baseline_energy
-        template = None
-        while clock.now_s < end_s:
-            t = clock.now_s
-            system.advance_time(t)
-            if churn:
-                free_before = mm.free_pages
-                self._pinned_churn(t, epoch_s)
-                if mm.free_pages != free_before:
-                    # Churn moved memory: finish this epoch on the slow
-                    # path (the pending resize is still a guaranteed
-                    # no-op) and hand control back to the outer loop.
-                    system.step(t, epoch_s)
-                    sample = self._sample(t, bandwidth, row_miss_rate)
-                    samples.append(sample)
-                    dram_energy += sample.dram_power_w * epoch_s
-                    baseline_energy += baseline_w * epoch_s
-                    stats.epochs_stepped += 1
-                    clock.tick()
-                    break
-            if template is None:
-                template = self._sample(t, bandwidth, row_miss_rate)
-            daemon.tick_quiescent(epoch_s)
-            samples.append(template._replace(time_s=t))
-            dram_energy += template.dram_power_w * epoch_s
-            baseline_energy += baseline_w * epoch_s
-            stats.epochs_fast_forwarded += 1
-            clock.tick()
-        return dram_energy, baseline_energy
-
     def _owner_steady(self, owner: str, target_pages: int) -> bool:
         """Would resizing *owner* to *target_pages* be a strict no-op?"""
         return (self.swap.held_for(owner) == 0
                 and target_pages == self.system.mm.owner_pages(owner))
 
-    def _workload_horizon(self, t: float, owner: str,
-                          profile: WorkloadProfile, n_copies: int) -> float:
-        """Fast-forward horizon for a single-profile run (or *t*: none)."""
-        target = profile.footprint.at(t) * n_copies // PAGE_SIZE
-        if not self._owner_steady(owner, target):
-            return t
-        flat_until = profile.footprint.constant_until(t)
-        if flat_until <= t:
-            return t
-        return min(flat_until, quiescent_horizon(self.system, t))
-
-    def _mix_horizon(self, t: float, owners: "dict[str, WorkloadProfile]",
-                     ) -> float:
-        """Fast-forward horizon for a co-located run (or *t*: none)."""
-        horizon = quiescent_horizon(self.system, t)
-        if horizon <= t:
-            return t
-        for owner, profile in owners.items():
-            target = profile.footprint.at(min(t, profile.duration_s))
-            if not self._owner_steady(owner, target // PAGE_SIZE):
-                return t
-            if t >= profile.duration_s:
-                continue  # clamped at its final footprint forever
-            flat_until = profile.footprint.constant_until(t)
-            if flat_until <= t:
-                return t
-            if flat_until < profile.duration_s:
-                horizon = min(horizon, flat_until)
-            # A flat run reaching duration_s keeps the clamped value
-            # constant beyond it, so it does not bound the horizon.
-        return horizon
+    def reset_stats(self) -> None:
+        """Zero the per-run counters (kernel-owned; see
+        :meth:`repro.sim.kernel.EpochKernel.reset_stats`)."""
+        self.kernel.reset_stats()
 
     # --- single-profile runs (SPEC / data-center) -----------------------------
 
@@ -495,73 +336,29 @@ class ServerSimulator:
                      warmup_s: float = 30.0, epoch_s: float = 1.0,
                      pinned_churn: bool = True) -> WorkloadRunResult:
         """Run *n_copies* of *profile* to completion under GreenDIMM."""
-        if epoch_s <= 0:
-            raise ConfigurationError("epoch must be positive")
-        owner = "app"
-        bandwidth = profile.bandwidth_demand_bytes_per_s * n_copies
-        row_miss = 1.0 - profile.row_hit_rate
-
-        # Warm up: reach the initial footprint and let the daemon settle.
-        initial = profile.footprint.at(0.0) * n_copies // PAGE_SIZE
-        if initial:
-            self._resize_owner(owner, initial, 0.0)
-        t = -warmup_s
-        while t < 0:
-            self.system.step(t, epoch_s)
-            t += epoch_s
-        self._reset_stats()
-        swap_stall_before = self.swap.stats.stall_s
-
-        samples: List[EpochSample] = []
-        dram_energy = 0.0
-        baseline_energy = 0.0
-        shortfall = 0
-        use_ff = self._fast_forward_usable(pinned_churn, epoch_s)
-        clock = SimClock(epoch_s)
-        while clock.now_s < profile.duration_s:
-            t = clock.now_s
-            if use_ff:
-                horizon = self._workload_horizon(t, owner, profile, n_copies)
-                if horizon > t + epoch_s:
-                    end = min(horizon, profile.duration_s)
-                    dram_energy, baseline_energy = self._fast_forward_window(
-                        clock, end, bandwidth, row_miss, pinned_churn,
-                        samples, dram_energy, baseline_energy)
-                    continue
-            self.system.advance_time(t)
-            target = profile.footprint.at(t) * n_copies // PAGE_SIZE
-            shortfall += self._resize_owner(owner, target, t)
-            if pinned_churn:
-                self._pinned_churn(t, epoch_s)
-            self.system.step(t, epoch_s)
-            sample = self._sample(t, bandwidth, row_miss)
-            samples.append(sample)
-            dram_energy += sample.dram_power_w * epoch_s
-            baseline_energy += self._baseline_power_w(bandwidth,
-                                                      row_miss) * epoch_s
-            self.ff_stats.epochs_stepped += 1
-            clock.tick()
-        self._publish_ff_stats()
+        source = ProfileSource(self, profile, n_copies)
+        run = self.kernel.run(source, epoch_s=epoch_s, warmup_s=warmup_s,
+                              pinned_churn=pinned_churn)
 
         stats = self.system.daemon.stats
         overhead = self.perf.greendimm_overhead_fraction(
             profile, stats.offline_events, stats.online_events,
             profile.duration_s)
-        swap_stall = self.swap.stats.stall_s - swap_stall_before
-        overhead += swap_stall / profile.duration_s
+        overhead += run.swap_stall_s / profile.duration_s
         return WorkloadRunResult(
             profile_name=profile.name,
             elapsed_s=profile.duration_s,
-            samples=samples,
+            samples=run.samples,
             offline_events=stats.offline_events,
             online_events=stats.online_events,
             ebusy_failures=stats.ebusy_failures,
             eagain_failures=stats.eagain_failures,
             offlined_bytes_total=stats.offlined_bytes_total,
-            dram_energy_j=dram_energy * (1.0 + overhead),
-            baseline_dram_energy_j=baseline_energy * (1.0 + overhead),
+            dram_energy_j=run.dram_energy_j * (1.0 + overhead),
+            baseline_dram_energy_j=(run.baseline_dram_energy_j
+                                    * (1.0 + overhead)),
             overhead_fraction=overhead,
-            swap_shortfall_pages=shortfall)
+            swap_shortfall_pages=source.shortfall_pages)
 
     # --- VM-trace runs (Figures 1, 12, 13) --------------------------------------
 
@@ -569,74 +366,22 @@ class ServerSimulator:
                      mean_vm_bandwidth_bytes_per_s: float = 0.4e9,
                      pinned_churn: bool = True) -> VMTraceRunResult:
         """Replay an Azure-like trace against the system."""
-        if epoch_s <= 0:
-            raise ConfigurationError("epoch must be positive")
-        events = sorted(trace.events, key=lambda e: e.time_s)
-        cursor = 0
-        running = 0
-        samples: List[EpochSample] = []
-        dram_energy = 0.0
-        baseline_energy = 0.0
-        duration = max((e.time_s for e in events), default=0.0) + 300.0
-        ksm = self.system.ksm
-        use_ff = self._fast_forward_usable(pinned_churn, epoch_s)
-        self.ff_stats = FastForwardStats()
-        clock = SimClock(epoch_s)
-        while clock.now_s < duration:
-            t = clock.now_s
-            if use_ff and not (cursor < len(events)
-                               and events[cursor].time_s <= t):
-                # VMs only move at trace events, so the workload-side
-                # horizon is simply the next event's timestamp.
-                horizon = quiescent_horizon(self.system, t)
-                if cursor < len(events):
-                    horizon = min(horizon, events[cursor].time_s)
-                if horizon > t + epoch_s:
-                    end = min(horizon, duration)
-                    bandwidth = running * mean_vm_bandwidth_bytes_per_s
-                    dram_energy, baseline_energy = self._fast_forward_window(
-                        clock, end, bandwidth, 0.5, pinned_churn,
-                        samples, dram_energy, baseline_energy)
-                    continue
-            self.system.advance_time(t)
-            while cursor < len(events) and events[cursor].time_s <= t:
-                event = events[cursor]
-                cursor += 1
-                vm = event.instance
-                if event.kind == "arrive":
-                    pages = vm.vm_type.memory_bytes // PAGE_SIZE
-                    self._resize_owner(vm.owner_id, pages, t, mergeable=True,
-                                       emergency=True)
-                    running += 1
-                    if ksm is not None:
-                        ksm.register(RegionContent(
-                            owner_id=vm.owner_id, total_pages=pages,
-                            image_id=vm.vm_type.image_id))
-                else:
-                    if ksm is not None:
-                        ksm.unregister(vm.owner_id)
-                    self.system.mm.free_all(vm.owner_id)
-                    self.swap.release(vm.owner_id)
-                    running = max(0, running - 1)
-            if pinned_churn:
-                self._pinned_churn(t, epoch_s)
-            self.system.step(t, epoch_s)
-            bandwidth = running * mean_vm_bandwidth_bytes_per_s
-            sample = self._sample(t, bandwidth, row_miss_rate=0.5)
-            samples.append(sample)
-            dram_energy += sample.dram_power_w * epoch_s
-            baseline_energy += self._baseline_power_w(bandwidth, 0.5) * epoch_s
-            self.ff_stats.epochs_stepped += 1
-            clock.tick()
-        self._publish_ff_stats()
+        source = TraceSource(
+            self, trace,
+            mean_vm_bandwidth_bytes_per_s=mean_vm_bandwidth_bytes_per_s)
+        run = self.kernel.run(source, epoch_s=epoch_s,
+                              pinned_churn=pinned_churn)
 
+        ksm = self.system.ksm
         return VMTraceRunResult(
-            samples=samples,
+            samples=run.samples,
             total_blocks=self.system.mm.num_blocks,
-            dram_energy_j=dram_energy,
-            baseline_dram_energy_j=baseline_energy,
+            dram_energy_j=run.dram_energy_j,
+            baseline_dram_energy_j=run.baseline_dram_energy_j,
             ksm_saved_pages_final=(ksm.total_saved_pages if ksm else 0),
             emergency_onlines=self.system.daemon.stats.emergency_onlines)
+
+    # --- co-located runs --------------------------------------------------------
 
     def run_mix(self, profiles: List[WorkloadProfile],
                 warmup_s: float = 30.0, epoch_s: float = 1.0,
@@ -649,64 +394,17 @@ class ServerSimulator:
         estimated from the shared event rate weighted by each workload's
         memory sensitivity (they all suffer the same lock/TLB interference).
         """
-        if not profiles:
-            raise ConfigurationError("need at least one profile")
-        duration = max(p.duration_s for p in profiles)
-        owners = {f"mix{i}-{p.name}": p for i, p in enumerate(profiles)}
-        bandwidth = sum(p.bandwidth_demand_bytes_per_s for p in profiles)
-        row_miss = (sum((1.0 - p.row_hit_rate)
-                        * p.bandwidth_demand_bytes_per_s for p in profiles)
-                    / max(bandwidth, 1.0))
-
-        for owner, profile in owners.items():
-            initial = profile.footprint.at(0.0) // PAGE_SIZE
-            if initial:
-                self._resize_owner(owner, initial, 0.0)
-        t = -warmup_s
-        while t < 0:
-            self.system.step(t, epoch_s)
-            t += epoch_s
-        self._reset_stats()
-        swap_stall_before = self.swap.stats.stall_s
-
-        samples: List[EpochSample] = []
-        dram_energy = 0.0
-        baseline_energy = 0.0
-        use_ff = self._fast_forward_usable(pinned_churn, epoch_s)
-        clock = SimClock(epoch_s)
-        while clock.now_s < duration:
-            t = clock.now_s
-            if use_ff:
-                horizon = self._mix_horizon(t, owners)
-                if horizon > t + epoch_s:
-                    end = min(horizon, duration)
-                    dram_energy, baseline_energy = self._fast_forward_window(
-                        clock, end, bandwidth, row_miss, pinned_churn,
-                        samples, dram_energy, baseline_energy)
-                    continue
-            self.system.advance_time(t)
-            for owner, profile in owners.items():
-                target = profile.footprint.at(min(t, profile.duration_s))
-                self._resize_owner(owner, target // PAGE_SIZE, t)
-            if pinned_churn:
-                self._pinned_churn(t, epoch_s)
-            self.system.step(t, epoch_s)
-            sample = self._sample(t, bandwidth, row_miss)
-            samples.append(sample)
-            dram_energy += sample.dram_power_w * epoch_s
-            baseline_energy += self._baseline_power_w(bandwidth,
-                                                      row_miss) * epoch_s
-            self.ff_stats.epochs_stepped += 1
-            clock.tick()
-        self._publish_ff_stats()
+        source = MixSource(self, profiles)
+        duration = source.duration_s
+        run = self.kernel.run(source, epoch_s=epoch_s, warmup_s=warmup_s,
+                              pinned_churn=pinned_churn)
 
         stats = self.system.daemon.stats
-        swap_stall = self.swap.stats.stall_s - swap_stall_before
         overheads = {}
         for profile in profiles:
             overhead = self.perf.greendimm_overhead_fraction(
                 profile, stats.offline_events, stats.online_events, duration)
-            overheads[profile.name] = overhead + swap_stall / duration
+            overheads[profile.name] = overhead + run.swap_stall_s / duration
         # Same energy convention as run_workload: runtime dilation from
         # GreenDIMM interference scales consumed energy.  A co-located run
         # is elongated by its slowest tenant, so the worst overhead applies.
@@ -714,10 +412,11 @@ class ServerSimulator:
         return MixRunResult(
             profile_names=[p.name for p in profiles],
             elapsed_s=duration,
-            samples=samples,
+            samples=run.samples,
             offline_events=stats.offline_events,
             online_events=stats.online_events,
-            dram_energy_j=dram_energy * (1.0 + worst),
-            baseline_dram_energy_j=baseline_energy * (1.0 + worst),
+            dram_energy_j=run.dram_energy_j * (1.0 + worst),
+            baseline_dram_energy_j=(run.baseline_dram_energy_j
+                                    * (1.0 + worst)),
             overhead_by_profile=overheads,
-            swap_stall_s=swap_stall)
+            swap_stall_s=run.swap_stall_s)

@@ -1,7 +1,5 @@
 """Baseline policy estimators (srf-only, RAMZzz, PASR)."""
 
-import pytest
-
 from repro.baselines import (
     PASRPolicy,
     RAMZzzPolicy,

@@ -37,6 +37,11 @@ class TestCommands:
         assert "Table 1" in out
         assert "paper vs measured" in out
 
+    def test_run_no_fast_forward(self, capsys):
+        assert main(["run", "tab1", "--fast", "--no-fast-forward"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out
+
     def test_run_unknown_experiment(self, capsys):
         assert main(["run", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err

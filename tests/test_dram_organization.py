@@ -5,9 +5,7 @@ import pytest
 from repro.dram.device import DDR4_4GB_X8
 from repro.dram.organization import (
     MemoryOrganization,
-    azure_server_memory,
     scaled_server_memory,
-    spec_server_memory,
 )
 from repro.errors import ConfigurationError
 from repro.units import GIB, MIB

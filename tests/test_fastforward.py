@@ -17,7 +17,7 @@ from repro.dram.organization import DDR4_4GB_X8, MemoryOrganization
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan, FaultRule, storm_plan
 from repro.sim.server import ServerSimulator
-from repro.units import GIB, MIB, PAGE_SIZE
+from repro.units import GIB, MIB
 from repro.workloads import profile_by_name
 from repro.workloads.azure import AzureTraceGenerator
 from repro.workloads.trace import FootprintTrace

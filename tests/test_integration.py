@@ -5,9 +5,7 @@ free capacity -> off-lining -> sub-array gating -> background power drop
 -> on-lining under pressure -> power back up, plus the KSM synergy.
 """
 
-import pytest
-
-from repro.core.config import GreenDIMMConfig, SelectionPolicy
+from repro.core.config import GreenDIMMConfig
 from repro.core.system import GreenDIMMSystem
 from repro.dram.device import DDR4_4GB_X8
 from repro.dram.organization import MemoryOrganization

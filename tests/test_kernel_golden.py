@@ -1,0 +1,32 @@
+"""Golden equivalence: the kernel reproduces the pre-refactor loops.
+
+``tests/golden/kernel_golden.json`` was recorded from the hand-rolled
+``run_workload``/``run_vm_trace``/``run_mix`` loops *before* they were
+rebuilt on :mod:`repro.sim.kernel`.  Every scenario (workload, vm-trace,
+mix; pinned churn on and off; a fault storm) must still produce the
+identical sample stream, energies, daemon statistics, and fast-forward
+accounting — with the fast path on and off.  Floats are compared via
+their ``float.hex()`` encodings, so this really is bit-for-bit.
+
+Regenerate (only when intentionally changing simulation semantics):
+``PYTHONPATH=src python tests/kernel_scenarios.py``
+"""
+
+import json
+
+import pytest
+
+from tests.kernel_scenarios import GOLDEN_PATH, SCENARIOS
+
+GOLDENS = json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+@pytest.mark.parametrize("path", ["slow", "fast"])
+def test_kernel_matches_pre_refactor_golden(name, path):
+    recorded = GOLDENS[name][path]
+    current = SCENARIOS[name](path == "fast")
+    for key in recorded:
+        assert current[key] == recorded[key], (
+            f"{name}/{path}: {key} diverged from the pre-kernel recording")
+    assert set(current) == set(recorded)

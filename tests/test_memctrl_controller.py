@@ -13,7 +13,6 @@ from repro.dram.organization import spec_server_memory
 from repro.errors import ConfigurationError
 from repro.memctrl.controller import MemoryController
 from repro.memctrl.lowpower import LowPowerConfig
-from repro.power.states import PowerState
 from repro.workloads.trace import AccessTraceGenerator, merged_streams
 
 ORG = spec_server_memory()

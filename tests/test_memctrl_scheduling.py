@@ -1,8 +1,5 @@
 """FR-FCFS scheduling behaviour of the controller."""
 
-import numpy as np
-import pytest
-
 from repro.dram.address import AddressMapping, DecodedAddress
 from repro.dram.organization import spec_server_memory
 from repro.memctrl.controller import MemoryController

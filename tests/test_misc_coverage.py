@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import GreenDIMMConfig, SelectionPolicy
+from repro.core.config import SelectionPolicy
 from repro.core.mapping import PowerBlockMap
 from repro.core.selector import BlockSelector
 from repro.core.system import GreenDIMMSystem
@@ -135,7 +135,6 @@ class TestSelectorStaleness:
         small_system.mm.allocate("drv", 8, kind=__import__(
             "repro.os.page", fromlist=["OwnerKind"]).OwnerKind.PINNED)
         pool = selector.candidates(small_system.mm.num_blocks)
-        from repro.os.zones import ZoneKind
 
         unremovable = [b for b in pool
                        if not small_system.hotplug.removable(b)]

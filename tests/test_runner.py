@@ -47,6 +47,20 @@ class TestJobs:
         assert (ExperimentJob("tab1", fast=True).config_hash()
                 != ExperimentJob("tab1", fast=False).config_hash())
 
+    def test_config_hash_covers_fast_forward(self):
+        # The two simulation paths are bit-for-bit identical by
+        # contract, but a cached fast run must never alias a
+        # ``--no-fast-forward`` verification run.
+        fast = ExperimentJob("tab1", fast=True)
+        reference = ExperimentJob("tab1", fast=True, fast_forward=False)
+        assert fast.config_hash() != reference.config_hash()
+        assert reference.describe() == "tab1 (fast, no-ff)"
+
+    def test_suite_jobs_stamp_fast_forward(self):
+        assert all(not j.fast_forward
+                   for j in suite_jobs(FAST_PAIR, fast_forward=False))
+        assert all(j.fast_forward for j in suite_jobs(FAST_PAIR))
+
     def test_config_hash_covers_fault_plan(self):
         from repro.faults import storm_plan
 

@@ -6,7 +6,7 @@ from repro.core.config import GreenDIMMConfig
 from repro.core.system import GreenDIMMSystem
 from repro.errors import ConfigurationError
 from repro.sim.server import ServerSimulator
-from repro.units import GIB, MIB, PAGE_SIZE
+from repro.units import MIB, PAGE_SIZE
 from repro.workloads import profile_by_name
 
 MIX = ("403.gcc", "453.povray", "429.mcf")
