@@ -5,11 +5,17 @@ Commands
 list-workloads          the synthetic workload catalog
 list-experiments        every reproducible table/figure
 run EXPERIMENT... [--fast] [--parallel N] [--cache-dir DIR]
-                 [--fault-plan FILE] [--no-fast-forward]
+                 [--fault-plan FILE] [--no-fast-forward] [--trace FILE]
                         regenerate tables/figures (``all`` = whole suite)
-simulate WORKLOAD       run a workload under the GreenDIMM daemon
-bench [--full] [--out FILE]
+simulate WORKLOAD [--trace FILE]
+                        run a workload under the GreenDIMM daemon
+fleet [--servers N] [--hours H] [--workers N] [--report FILE]
+                        replay a sharded datacenter trace across servers
+report METRICS [--trace FILE] [--out FILE] [--html]
+                        render a metrics JSONL into a run report
+bench [--full] [--out FILE] [--compare [--baseline FILE] [--threshold T]]
                         time the simulation core fast vs per-epoch path
+                        (and optionally gate against the committed numbers)
 faults storm|show       generate or inspect deterministic fault plans
 topology [--capacity]   show a platform's geometry and power envelope
 """
@@ -95,7 +101,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     engine = ParallelRunner(workers=args.parallel, cache=cache,
                             metrics=metrics)
     aggregator = SuiteAggregator(canonical_order=list(runners))
-    aggregator.extend(engine.run(jobs))
+    if args.trace:
+        from repro.obs.tracer import trace_scope
+
+        with trace_scope(True):
+            outcomes = engine.run(jobs)
+        _append_trace_events((o.trace for o in outcomes), args.trace)
+    else:
+        outcomes = engine.run(jobs)
+    aggregator.extend(outcomes)
 
     for result in aggregator.results().values():
         print(result.render())
@@ -103,6 +117,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     if len(jobs) > 1 or aggregator.failures():
         print(aggregator.render())
     return 0 if not aggregator.failures() else 1
+
+
+def _append_trace_events(snapshots, path: str) -> None:
+    """Append the events of drained tracer *snapshots* to *path* as JSONL."""
+    import json as _json
+    import pathlib as _pathlib
+
+    target = _pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with target.open("a") as handle:
+        for snapshot in snapshots:
+            for event in (snapshot or {}).get("events", []):
+                handle.write(_json.dumps(event, sort_keys=True) + "\n")
+                count += 1
+    print(f"wrote {count} trace events to {path}")
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -119,7 +149,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                              fault_plan=fault_plan, seed=args.seed)
     simulator = ServerSimulator(system, seed=args.seed,
                                 fast_forward=not args.no_fast_forward)
-    result = simulator.run_workload(profile, n_copies=args.copies)
+    if args.trace:
+        from repro.obs.tracer import GLOBAL_TRACER, trace_scope
+
+        with trace_scope(True):
+            result = simulator.run_workload(profile, n_copies=args.copies)
+        dumped = GLOBAL_TRACER.dump(args.trace)
+        GLOBAL_TRACER.drain()
+        print(f"wrote {dumped} trace events to {args.trace}")
+    else:
+        result = simulator.run_workload(profile, n_copies=args.copies)
     table = Table(f"{profile.name} on {organization.describe()}",
                   ["metric", "value"])
     table.add_row("off-lining events", result.offline_events)
@@ -132,6 +171,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     table.add_row("execution-time overhead",
                   f"{result.overhead_fraction:.2%}")
     table.add_row("swap I/O pages", simulator.swap.stats.total_io_pages)
+    fractions = result.residency.fractions()
+    if fractions:
+        table.add_row("state residencies",
+                      ", ".join(f"{state}={share:.0%}"
+                                for state, share in fractions.items()
+                                if share > 0))
     if system.fault_injector is not None:
         stats = system.fault_injector.stats
         counts = ", ".join(f"{k}={v}" for k, v in
@@ -142,7 +187,28 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import all_identical, render_perf_core, run_perf_core
+    import json
+
+    from repro.bench import (
+        all_identical,
+        compare_perf_core,
+        render_compare,
+        render_perf_core,
+        run_perf_core,
+    )
+
+    baseline = None
+    if args.compare:
+        # Read the baseline before the fresh run lands: with the default
+        # paths the run overwrites the very document it is gated against.
+        import pathlib
+
+        baseline_path = pathlib.Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found",
+                  file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text())
 
     document = run_perf_core(full=args.full, out=args.out)
     print(render_perf_core(document))
@@ -152,6 +218,83 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("error: fast-forward output diverged from the per-epoch "
               "reference path", file=sys.stderr)
         return 1
+    if baseline is not None:
+        regressions, rows = compare_perf_core(document, baseline,
+                                              threshold=args.threshold)
+        print()
+        print(render_compare(regressions, rows, threshold=args.threshold))
+        if regressions:
+            return 1
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.obs.tracer import GLOBAL_TRACER, trace_scope
+    from repro.runner import MetricsBus
+    from repro.sim.fleet import FleetSource, run_fleet
+
+    source = FleetSource(num_servers=args.servers,
+                         duration_s=args.hours * 3600.0, seed=args.seed)
+    metrics = MetricsBus(path=args.metrics)
+    trace_enabled = bool(args.trace or args.report)
+    with trace_scope(trace_enabled):
+        result = run_fleet(source, workers=args.workers, metrics=metrics)
+    GLOBAL_TRACER.drain()
+    if args.trace:
+        # The per-server traces were drained into the job_end events by
+        # the fan-out (that is how they survive pool workers); flatten
+        # them back out for the standalone trace file.
+        _append_trace_events(
+            (e.get("trace") for e in metrics.events
+             if e.get("event") == "job_end"), args.trace)
+
+    table = Table(f"fleet replay: {args.servers} servers x "
+                  f"{args.hours:g} h (seed {args.seed})",
+                  ["metric", "value"])
+    table.add_row("fleet DRAM energy saving",
+                  f"{result.fleet_dram_energy_saving:.1%}")
+    table.add_row("best / worst server saving",
+                  f"{result.best_server_saving:.1%} / "
+                  f"{result.worst_server_saving:.1%}")
+    table.add_row("p95 peak offline blocks",
+                  f"{result.p95_max_offline_blocks}"
+                  f"/{result.total_blocks_per_server}")
+    table.add_row("emergency on-linings", result.total_emergency_onlines)
+    table.add_row("VM events",
+                  sum(s.vm_events for s in result.servers))
+    print(table.render())
+
+    if args.report:
+        from repro.obs.report import write_report
+
+        target = write_report(
+            metrics.events, args.report,
+            title=f"GreenDIMM fleet run ({args.servers} servers)")
+        print(f"wrote report to {target}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.obs.report import build_report, load_jsonl, markdown_to_html
+
+    events = load_jsonl(args.metrics)
+    trace_events = load_jsonl(args.trace) if args.trace else None
+    title = args.title or "GreenDIMM run report"
+    markdown = build_report(events, trace_events=trace_events, title=title)
+    if args.out:
+        target = pathlib.Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        if args.html or target.suffix.lower() in (".html", ".htm"):
+            target.write_text(markdown_to_html(markdown, title=title))
+        else:
+            target.write_text(markdown)
+        print(f"wrote report to {target}")
+    elif args.html:
+        print(markdown_to_html(markdown, title=title))
+    else:
+        print(markdown)
     return 0
 
 
@@ -259,6 +402,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "spans in every simulator the experiments "
                             "build (results are identical either way; "
                             "the flag keys the result cache)")
+    run_p.add_argument("--trace", default=None, metavar="FILE",
+                       help="enable structured run tracing and append the "
+                            "collected events to FILE as JSONL")
     run_p.set_defaults(func=cmd_run)
 
     sim_p = sub.add_parser("simulate", help="run a workload under GreenDIMM")
@@ -273,7 +419,43 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--no-fast-forward", action="store_true",
                        help="force per-epoch stepping through quiescent "
                             "spans (results are identical either way)")
+    sim_p.add_argument("--trace", default=None, metavar="FILE",
+                       help="enable structured run tracing and append the "
+                            "collected events to FILE as JSONL")
     sim_p.set_defaults(func=cmd_simulate)
+
+    fleet_p = sub.add_parser(
+        "fleet", help="replay a sharded datacenter trace across servers")
+    fleet_p.add_argument("--servers", type=int, default=2, metavar="N")
+    fleet_p.add_argument("--hours", type=float, default=2.0,
+                         help="trace duration per server")
+    fleet_p.add_argument("--seed", type=int, default=7)
+    fleet_p.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="worker processes for the shard fan-out")
+    fleet_p.add_argument("--metrics", default=None, metavar="FILE",
+                         help="append per-server JSONL metrics to FILE")
+    fleet_p.add_argument("--report", default=None, metavar="FILE",
+                         help="write a markdown/HTML run report to FILE "
+                              "(enables tracing for the replay)")
+    fleet_p.add_argument("--trace", default=None, metavar="FILE",
+                         help="enable structured run tracing and append "
+                              "the collected events to FILE as JSONL")
+    fleet_p.set_defaults(func=cmd_fleet)
+
+    report_p = sub.add_parser(
+        "report", help="render a metrics JSONL into a run report")
+    report_p.add_argument("metrics", help="metrics JSONL file "
+                                          "(from --metrics)")
+    report_p.add_argument("--trace", default=None, metavar="FILE",
+                          help="fold a trace JSONL (from --trace) into "
+                               "the report")
+    report_p.add_argument("--out", default=None, metavar="FILE",
+                          help="write here instead of stdout (.html "
+                               "renders HTML)")
+    report_p.add_argument("--title", default=None)
+    report_p.add_argument("--html", action="store_true",
+                          help="render HTML regardless of the suffix")
+    report_p.set_defaults(func=cmd_report)
 
     bench_p = sub.add_parser(
         "bench", help="time the simulation core, fast path vs per-epoch")
@@ -282,6 +464,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "shrinks it for CI smoke runs)")
     bench_p.add_argument("--out", default="BENCH_perf_core.json",
                          metavar="FILE", help="write the JSON document here")
+    bench_p.add_argument("--compare", action="store_true",
+                         help="gate the fresh numbers against a committed "
+                              "baseline document")
+    bench_p.add_argument("--baseline", default="BENCH_perf_core.json",
+                         metavar="FILE",
+                         help="baseline document for --compare")
+    bench_p.add_argument("--threshold", type=float, default=0.15,
+                         help="calibrated slowdown tolerated by --compare "
+                              "(0.15 = 15%%)")
     bench_p.set_defaults(func=cmd_bench)
 
     faults_p = sub.add_parser(

@@ -21,6 +21,7 @@ from repro.core.power_control import GreenDIMMPowerControl
 from repro.core.selector import BlockSelector
 from repro.errors import ConfigurationError, OnlineError, WakeupTimeoutError
 from repro.ksm.daemon import KSMDaemon
+from repro.obs.tracer import GLOBAL_TRACER as TRACER
 from repro.os.hotplug import MemoryBlockManager
 from repro.os.mm import PhysicalMemoryManager
 from repro.units import PAGE_SIZE
@@ -97,6 +98,13 @@ class GreenDIMMDaemon:
         #: Earliest time a failed block may be attempted again (backoff /
         #: quarantine embargo).
         self._retry_at: Dict[int, float] = {}
+
+    def _record(self, event: DaemonEvent) -> None:
+        """Log one decision: the bounded history plus the trace stream."""
+        self.event_log.append(event)
+        if TRACER.enabled:
+            TRACER.event("daemon." + event.kind, t_s=event.time_s,
+                         block=event.block)
 
     # --- thresholds ----------------------------------------------------------
 
@@ -190,7 +198,7 @@ class GreenDIMMDaemon:
         if streak >= self.config.quarantine_failures:
             self._retry_at[block] = now_s + self.config.quarantine_cooldown_s
             self.stats.quarantines += 1
-            self.event_log.append(DaemonEvent(now_s, "quarantine", block))
+            self._record(DaemonEvent(now_s, "quarantine", block))
             return
         if errno_name == "EAGAIN":
             delay = min(self.config.retry_backoff_base_s * 2 ** (streak - 1),
@@ -225,14 +233,14 @@ class GreenDIMMDaemon:
                 self.stats.offline_events += 1
                 self.stats.offlined_bytes_total += self.config.block_bytes
                 self.power_control.block_offlined(block, now_s)
-                self.event_log.append(DaemonEvent(now_s, "offline", block))
+                self._record(DaemonEvent(now_s, "offline", block))
             elif result.errno_name == "EBUSY":
                 self.stats.ebusy_failures += 1
-                self.event_log.append(DaemonEvent(now_s, "ebusy", block))
+                self._record(DaemonEvent(now_s, "ebusy", block))
                 self._note_offline_failure(block, now_s, result.errno_name)
             else:
                 self.stats.eagain_failures += 1
-                self.event_log.append(DaemonEvent(now_s, "eagain", block))
+                self._record(DaemonEvent(now_s, "eagain", block))
                 self._note_offline_failure(block, now_s, result.errno_name)
 
     # --- on-lining ----------------------------------------------------------------
@@ -264,8 +272,7 @@ class GreenDIMMDaemon:
             except WakeupTimeoutError as err:
                 self.stats.wakeup_wait_s += getattr(err, "wait_s", 0.0)
                 self.stats.wakeup_timeouts += 1
-                self.event_log.append(
-                    DaemonEvent(now_s, "wakeup_timeout", block))
+                self._record(DaemonEvent(now_s, "wakeup_timeout", block))
                 skipped.add(block)
                 continue
             self.stats.wakeup_wait_s += wait_s
@@ -275,8 +282,7 @@ class GreenDIMMDaemon:
                 self.stats.online_failures += 1
                 self.stats.busy_s += getattr(err, "latency_s", 0.0)
                 self.stats.busy_online_s += getattr(err, "latency_s", 0.0)
-                self.event_log.append(
-                    DaemonEvent(now_s, "online_failed", block))
+                self._record(DaemonEvent(now_s, "online_failed", block))
                 skipped.add(block)
                 continue
             self.power_control.block_onlined(block, now_s)
@@ -284,7 +290,7 @@ class GreenDIMMDaemon:
             self.stats.busy_online_s += latency
             self.stats.online_events += 1
             self.stats.onlined_bytes_total += self.config.block_bytes
-            self.event_log.append(DaemonEvent(now_s, "online", block))
+            self._record(DaemonEvent(now_s, "online", block))
             onlined.append(block)
         return onlined
 
@@ -302,7 +308,7 @@ class GreenDIMMDaemon:
         if onlined:
             self.stats.emergency_onlines += 1
             for block in onlined:
-                self.event_log.append(DaemonEvent(now_s, "emergency", block))
+                self._record(DaemonEvent(now_s, "emergency", block))
         return len(onlined)
 
     # --- views --------------------------------------------------------------------

@@ -16,6 +16,7 @@ from typing import List, Optional, Set
 
 from repro.core.mapping import PowerBlockMap
 from repro.memctrl.moderegister import ModeRegisterFile
+from repro.obs.tracer import GLOBAL_TRACER as TRACER
 from repro.memctrl.registers import GreenDIMMControlRegister
 
 
@@ -59,6 +60,9 @@ class GreenDIMMPowerControl:
             self.register.gate(group)
         if newly:
             self._sync_mode_registers()
+            if TRACER.enabled:
+                TRACER.event("power.gate", t_s=now_s, block=block,
+                             groups=newly)
         return newly
 
     def prepare_online(self, block: int, now_s: float = 0.0) -> float:
@@ -77,6 +81,8 @@ class GreenDIMMPowerControl:
                 ungated_any = True
         if ungated_any:
             self._sync_mode_registers()
+            if TRACER.enabled:
+                TRACER.event("power.ungate", t_s=now_s, block=block)
         wait_s = max(0.0, (ready_ns - now_ns) * 1e-9)
         self.wakeup_wait_s += wait_s
         return wait_s
@@ -99,6 +105,9 @@ class GreenDIMMPowerControl:
             self.register.ungate(group, now_ns)
         if broken:
             self._sync_mode_registers()
+            if TRACER.enabled:
+                TRACER.event("power.ungate_broken", t_s=now_s, block=block,
+                             groups=broken)
         return broken
 
     # --- power accounting --------------------------------------------------

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
+from repro.obs.tracer import GLOBAL_TRACER as TRACER
 from repro.power.states import PowerState, exit_latency_ns
 
 
@@ -96,6 +97,9 @@ class RankLowPowerPolicy:
         penalty = exit_latency_ns(state)
         if penalty:
             self.wakeups += 1
+            # Counters, not per-wakeup events: this sits on the
+            # per-request path and would flood the ring buffer.
+            TRACER.counter("memctrl.wakeups." + state.value)
         return penalty
 
     def account_until(self, now_ns: float) -> None:

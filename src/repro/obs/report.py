@@ -1,0 +1,388 @@
+"""``repro report``: one readable document per run.
+
+Consumes the runner's metrics JSONL (``job_start`` / ``job_end`` /
+``suite_end`` plus the fleet's ``fleet_server`` / ``fleet_end`` events)
+and, optionally, a trace JSONL dumped by
+:meth:`repro.obs.tracer.Tracer.dump`, and renders a single markdown (or
+minimal self-contained HTML) run report:
+
+* suite summary — workers, wall time, cache behaviour, pool
+  utilization (clamped *and* raw, so over-accounted wall time is
+  visible instead of silently hidden at 100%);
+* per-job table — wall times, fast-forward epoch accounting, injected
+  faults, errors;
+* energy & savings — per job and aggregate, from the drained residency
+  accounts;
+* per-power-state residencies — the Jagtap-style breakdown;
+* the daemon decision timeline — every ``daemon.*`` trace event, with
+  counts by decision kind;
+* the fleet per-server table — savings, offline blocks, DPD fraction,
+  emergency onlines, and utilization per server;
+* the fault summary.
+
+Sections with no data are omitted, so a plain single-job report stays
+short while a traced fleet run gets the full document.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+PathLike = Union[str, pathlib.Path]
+
+#: Timeline rows rendered before the report elides the rest.
+TIMELINE_LIMIT = 60
+
+
+def load_jsonl(path: PathLike) -> List[Dict[str, object]]:
+    """Parse one JSON document per non-empty line of *path*."""
+    events: List[Dict[str, object]] = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events
+
+
+# --- small formatting helpers -------------------------------------------------
+
+
+def _md_table(headers: Sequence[str],
+              rows: Sequence[Sequence[object]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join(" --- " for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _pct(value: float) -> str:
+    return f"{value:.1%}"
+
+
+def _seconds(value: float) -> str:
+    return f"{value:,.1f} s" if value >= 10 else f"{value:.3f} s"
+
+
+def _joules(value: float) -> str:
+    return f"{value / 1e6:.3f} MJ" if value >= 1e6 else f"{value:,.1f} J"
+
+
+# --- event digestion ----------------------------------------------------------
+
+
+def _job_ends(events: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    return [e for e in events if e.get("event") == "job_end"]
+
+
+def _merge_counts(jobs: Sequence[Dict[str, object]],
+                  key: str) -> Dict[str, int]:
+    merged: Dict[str, int] = {}
+    for job in jobs:
+        for name, count in (job.get(key) or {}).items():
+            merged[name] = merged.get(name, 0) + int(count)
+    return merged
+
+
+def _collect_trace_events(
+        jobs: Sequence[Dict[str, object]],
+        extra: Optional[Sequence[Dict[str, object]]],
+) -> Tuple[List[Dict[str, object]], Dict[str, int]]:
+    """Flatten per-job embedded traces plus a standalone trace file.
+
+    Returns ``(events, counters)`` where each event is the flat
+    ``kind``/``t_s``/detail dict the tracer emits.
+    """
+    collected: List[Dict[str, object]] = []
+    counters: Dict[str, int] = {}
+    for job in jobs:
+        trace = job.get("trace") or {}
+        owner = job.get("experiment")
+        for event in trace.get("events") or []:
+            if owner is not None and "job" not in event:
+                event = {**event, "job": owner}
+            collected.append(event)
+        for name, count in (trace.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(count)
+    if extra:
+        collected.extend(e for e in extra if "kind" in e)
+    return collected, counters
+
+
+def _sum_residency(jobs: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate the drained residency accounts across job_end events."""
+    states: Dict[str, float] = {}
+    totals = {"dram_energy_j": 0.0, "baseline_dram_energy_j": 0.0,
+              "duration_s": 0.0, "runs": 0}
+    for job in jobs:
+        account = job.get("residency") or {}
+        for state, seconds in (account.get("states") or {}).items():
+            states[state] = states.get(state, 0.0) + float(seconds)
+        for key in totals:
+            totals[key] += account.get(key, 0) or 0
+    return {"states": states, **totals}
+
+
+# --- the report ---------------------------------------------------------------
+
+
+def build_report(events: Sequence[Dict[str, object]],
+                 trace_events: Optional[Sequence[Dict[str, object]]] = None,
+                 title: str = "GreenDIMM run report") -> str:
+    """Render the markdown report for one metrics-event stream."""
+    sections: List[str] = [f"# {title}"]
+    jobs = _job_ends(events)
+    suite = next((e for e in reversed(events)
+                  if e.get("event") == "suite_end"), None)
+
+    if suite is not None:
+        raw = suite.get("utilization_raw", suite.get("utilization", 0.0))
+        rows = [
+            ("workers", suite.get("workers")),
+            ("jobs", suite.get("jobs")),
+            ("elapsed", _seconds(float(suite.get("elapsed_s", 0.0)))),
+            ("busy (cache misses)",
+             _seconds(float(suite.get("busy_s", 0.0)))),
+            ("cache hits / misses",
+             f"{suite.get('cache_hits', 0)} / "
+             f"{suite.get('cache_misses', 0)}"),
+            ("pool utilization", _pct(float(suite.get("utilization", 0.0)))),
+            ("pool utilization (raw)", _pct(float(raw))),
+        ]
+        section = ["## Suite summary", "", _md_table(["metric", "value"],
+                                                     rows)]
+        if float(raw) > 1.0:
+            section.append("")
+            section.append(
+                "> **Warning:** raw utilization exceeds 100% — job wall "
+                "time is over-accounted (double-counted overlap or clock "
+                "skew); the clamped figure hides this.")
+        sections.append("\n".join(section))
+
+    if jobs:
+        rows = []
+        for job in jobs:
+            perf = job.get("perf") or {}
+            stepped = int(perf.get("epochs_stepped", 0))
+            skipped = int(perf.get("epochs_fast_forwarded", 0))
+            epochs = (f"{skipped}/{stepped + skipped} ff"
+                      if stepped + skipped else "—")
+            faults = sum((job.get("faults") or {}).values())
+            rows.append((
+                job.get("experiment", "?"),
+                _seconds(float(job.get("wall_s", 0.0))),
+                "hit" if job.get("cached") else "run",
+                epochs,
+                faults or "—",
+                job.get("error") or "—",
+            ))
+        sections.append("\n".join([
+            "## Jobs", "",
+            _md_table(["job", "wall", "cache", "epochs", "faults",
+                       "error"], rows)]))
+
+    residency = _sum_residency(jobs)
+    if residency["runs"]:
+        baseline = float(residency["baseline_dram_energy_j"])
+        energy = float(residency["dram_energy_j"])
+        saving = 1.0 - energy / baseline if baseline > 0 else 0.0
+        energy_rows = []
+        for job in jobs:
+            account = job.get("residency") or {}
+            job_baseline = float(account.get("baseline_dram_energy_j", 0.0))
+            if not account.get("runs"):
+                continue
+            job_energy = float(account.get("dram_energy_j", 0.0))
+            job_saving = (1.0 - job_energy / job_baseline
+                          if job_baseline > 0 else 0.0)
+            energy_rows.append((job.get("experiment", "?"),
+                                _joules(job_energy), _joules(job_baseline),
+                                _pct(job_saving)))
+        energy_rows.append(("**total**", _joules(energy), _joules(baseline),
+                            _pct(saving)))
+        sections.append("\n".join([
+            "## Energy & savings", "",
+            _md_table(["job", "DRAM energy", "ungated baseline", "saving"],
+                      energy_rows)]))
+
+        states: Dict[str, float] = residency["states"]
+        total_s = sum(states.values())
+        if total_s > 0:
+            state_rows = [(state, _seconds(seconds),
+                           _pct(seconds / total_s))
+                          for state, seconds in states.items()]
+            state_rows.append(("**total**", _seconds(total_s), _pct(1.0)))
+            sections.append("\n".join([
+                "## Power-state residencies", "",
+                "Capacity-weighted time per DRAM power state, summed "
+                "over all runs.", "",
+                _md_table(["state", "time", "share"], state_rows)]))
+
+    collected, counters = _collect_trace_events(jobs, trace_events)
+    decisions = [e for e in collected
+                 if str(e.get("kind", "")).startswith("daemon.")]
+    if decisions:
+        by_kind: Dict[str, int] = {}
+        for event in decisions:
+            kind = str(event["kind"])
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        count_rows = [(kind, by_kind[kind]) for kind in sorted(by_kind)]
+        decisions.sort(key=lambda e: (e.get("t_s") is None,
+                                      e.get("t_s") or 0.0))
+        timeline_rows = []
+        for event in decisions[:TIMELINE_LIMIT]:
+            t_s = event.get("t_s")
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(event.items())
+                               if k not in ("kind", "t_s"))
+            timeline_rows.append((
+                f"{t_s:,.1f}" if isinstance(t_s, (int, float)) else "—",
+                str(event["kind"])[len("daemon."):],
+                detail or "—"))
+        section = ["## Daemon decision timeline", "",
+                   _md_table(["decisions", "count"], count_rows), "",
+                   _md_table(["t (s)", "decision", "detail"],
+                             timeline_rows)]
+        if len(decisions) > TIMELINE_LIMIT:
+            section.append("")
+            section.append(f"*… {len(decisions) - TIMELINE_LIMIT} more "
+                           f"decisions elided.*")
+        sections.append("\n".join(section))
+
+    other = [e for e in collected
+             if not str(e.get("kind", "")).startswith("daemon.")]
+    if other or counters:
+        by_kind = {}
+        for event in other:
+            kind = str(event.get("kind"))
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        rows = [(kind, by_kind[kind]) for kind in sorted(by_kind)]
+        rows.extend((name, count) for name, count in sorted(counters.items()))
+        sections.append("\n".join([
+            "## Other trace activity", "",
+            _md_table(["kind", "count"], rows)]))
+
+    servers = [e for e in events if e.get("event") == "fleet_server"]
+    if servers:
+        rows = [(s.get("index"), s.get("vm_events", "—"),
+                 _pct(float(s.get("dram_energy_saving", 0.0))),
+                 f"{float(s.get('mean_offline_blocks', 0.0)):.1f}",
+                 _pct(float(s.get("mean_dpd_fraction", 0.0))),
+                 s.get("emergency_onlines", 0),
+                 _pct(float(s.get("mean_utilization", 0.0))))
+                for s in sorted(servers, key=lambda s: s.get("index", 0))]
+        section = ["## Fleet servers", "",
+                   _md_table(["server", "VM events", "energy saving",
+                              "mean offline blocks", "mean DPD",
+                              "emergency onlines", "mean utilization"],
+                             rows)]
+        fleet_end = next((e for e in reversed(events)
+                          if e.get("event") == "fleet_end"), None)
+        if fleet_end is not None:
+            section.extend(["", _md_table(["fleet metric", "value"], [
+                ("servers", fleet_end.get("servers")),
+                ("fleet energy saving",
+                 _pct(float(fleet_end.get("fleet_dram_energy_saving", 0.0)))),
+                ("worst server saving",
+                 _pct(float(fleet_end.get("worst_server_saving", 0.0)))),
+                ("p95 peak offline blocks",
+                 fleet_end.get("p95_max_offline_blocks")),
+                ("emergency onlines",
+                 fleet_end.get("total_emergency_onlines")),
+            ])])
+        sections.append("\n".join(section))
+
+    faults = _merge_counts(jobs, "faults")
+    if faults:
+        rows = [(name, faults[name]) for name in sorted(faults)]
+        rows.append(("**total**", sum(faults.values())))
+        sections.append("\n".join([
+            "## Fault summary", "",
+            _md_table(["injected fault", "count"], rows)]))
+
+    if len(sections) == 1:
+        sections.append("*No runner events found — nothing to report.*")
+    return "\n\n".join(sections) + "\n"
+
+
+# --- HTML rendering -----------------------------------------------------------
+
+_HTML_STYLE = """
+body { font: 15px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 60rem; color: #1a1a2e; padding: 0 1rem; }
+table { border-collapse: collapse; margin: 0.75rem 0; }
+th, td { border: 1px solid #cbd5e1; padding: 0.3rem 0.6rem;
+         text-align: left; }
+th { background: #eef2f7; }
+blockquote { border-left: 4px solid #e0a020; margin: 0.75rem 0;
+             padding: 0.25rem 0.75rem; background: #fdf6e3; }
+h1, h2 { border-bottom: 1px solid #cbd5e1; padding-bottom: 0.2rem; }
+"""
+
+
+def markdown_to_html(markdown: str, title: str = "GreenDIMM run report") -> str:
+    """A minimal self-contained HTML rendering (headings + tables).
+
+    Deliberately tiny — the report only uses headings, paragraphs,
+    blockquotes, and pipe tables, so a dependency-free converter keeps
+    the toolkit stdlib-only.
+    """
+    body: List[str] = []
+    table: List[str] = []
+
+    def flush_table() -> None:
+        if not table:
+            return
+        body.append("<table>")
+        for row_index, line in enumerate(table):
+            cells = [c.strip() for c in line.strip().strip("|").split("|")]
+            if row_index == 1 and all(set(c) <= set(" -") for c in cells):
+                continue
+            tag = "th" if row_index == 0 else "td"
+            rendered = "".join(
+                f"<{tag}>{_inline(cell)}</{tag}>" for cell in cells)
+            body.append(f"<tr>{rendered}</tr>")
+        body.append("</table>")
+        table.clear()
+
+    def _inline(text: str) -> str:
+        escaped = html.escape(text)
+        while "**" in escaped:
+            escaped = escaped.replace("**", "<strong>", 1)
+            escaped = escaped.replace("**", "</strong>", 1)
+        return escaped
+
+    for line in markdown.splitlines():
+        if line.startswith("|"):
+            table.append(line)
+            continue
+        flush_table()
+        if line.startswith("## "):
+            body.append(f"<h2>{_inline(line[3:])}</h2>")
+        elif line.startswith("# "):
+            body.append(f"<h1>{_inline(line[2:])}</h1>")
+        elif line.startswith("> "):
+            body.append(f"<blockquote>{_inline(line[2:])}</blockquote>")
+        elif line.strip():
+            body.append(f"<p>{_inline(line)}</p>")
+    flush_table()
+    return ("<!doctype html><html><head><meta charset='utf-8'>"
+            f"<title>{html.escape(title)}</title>"
+            f"<style>{_HTML_STYLE}</style></head><body>"
+            + "\n".join(body) + "</body></html>\n")
+
+
+def write_report(events: Sequence[Dict[str, object]], out: PathLike,
+                 trace_events: Optional[Sequence[Dict[str, object]]] = None,
+                 title: str = "GreenDIMM run report") -> pathlib.Path:
+    """Build and write the report; ``.html`` suffix selects HTML."""
+    target = pathlib.Path(out)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    markdown = build_report(events, trace_events=trace_events, title=title)
+    if target.suffix.lower() in (".html", ".htm"):
+        target.write_text(markdown_to_html(markdown, title=title))
+    else:
+        target.write_text(markdown)
+    return target

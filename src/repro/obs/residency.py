@@ -1,0 +1,147 @@
+"""Per-power-state residency accounting for epoch-kernel runs.
+
+The gem5 DRAM power-down work (Jagtap et al.) makes the case that
+power-state reproductions live or die by per-state residency statistics:
+an energy number alone cannot tell *why* a run saved what it saved.
+This module gives every kernel-driven run that breakdown.
+
+The accounting is **capacity-weighted**: at each epoch the installed
+DRAM splits into the fraction GreenDIMM holds in sub-array deep
+power-down (``dpd_fraction``) and the live remainder, which the epoch's
+operating point divides between active standby (rows open, serving
+traffic) and precharge standby.  Each state's bucket accumulates
+``epoch_s * fraction`` seconds, so a run's buckets always sum to its
+measured duration — the invariant the tests pin with fast-forward on
+and off.  Rank-granularity power-down and self-refresh buckets exist
+for the baseline policies (commodity CKE timeouts); the GreenDIMM
+kernel itself never enters them, which the report makes visible.
+
+The process-global :data:`GLOBAL_RESIDENCY` account mirrors
+:mod:`repro.perfcounters`: the kernel publishes every finished run into
+it, and the runner drains it at the process that ran the job so the
+totals survive the trip back from pool workers and land in the
+``job_end`` JSONL metrics events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ResidencyStats:
+    """Capacity-weighted seconds spent in each DRAM power state."""
+
+    active_standby_s: float = 0.0
+    precharge_standby_s: float = 0.0
+    power_down_s: float = 0.0
+    self_refresh_s: float = 0.0
+    deep_power_down_s: float = 0.0
+
+    def add_span(self, span_s: float, active_residency: float,
+                 dpd_fraction: float) -> None:
+        """Attribute *span_s* seconds at one operating point.
+
+        *dpd_fraction* of the capacity sits in sub-array deep
+        power-down; the live remainder splits by *active_residency*
+        between active and precharge standby.  The three shares sum to
+        *span_s* (up to float rounding), preserving the
+        buckets-sum-to-duration invariant.
+        """
+        gated_s = span_s * dpd_fraction
+        live_s = span_s - gated_s
+        active_s = live_s * active_residency
+        self.deep_power_down_s += gated_s
+        self.active_standby_s += active_s
+        self.precharge_standby_s += live_s - active_s
+
+    def merge(self, other: "ResidencyStats") -> None:
+        self.active_standby_s += other.active_standby_s
+        self.precharge_standby_s += other.precharge_standby_s
+        self.power_down_s += other.power_down_s
+        self.self_refresh_s += other.self_refresh_s
+        self.deep_power_down_s += other.deep_power_down_s
+
+    @property
+    def total_s(self) -> float:
+        """Accounted time; equals the run duration for kernel runs."""
+        return (self.active_standby_s + self.precharge_standby_s
+                + self.power_down_s + self.self_refresh_s
+                + self.deep_power_down_s)
+
+    def as_dict(self) -> Dict[str, float]:
+        """State -> seconds, matching :class:`repro.power.states.PowerState`
+        values; zero buckets are kept so consumers see the full schema."""
+        return {
+            "active_standby": self.active_standby_s,
+            "precharge_standby": self.precharge_standby_s,
+            "power_down": self.power_down_s,
+            "self_refresh": self.self_refresh_s,
+            "deep_power_down": self.deep_power_down_s,
+        }
+
+    def fractions(self) -> Dict[str, float]:
+        """Normalized residency fractions (empty when nothing accounted)."""
+        total = self.total_s
+        if total <= 0:
+            return {}
+        return {state: seconds / total
+                for state, seconds in self.as_dict().items()}
+
+
+@dataclass
+class ResidencyAccount:
+    """What one process accumulated across kernel runs since last drain."""
+
+    residency: ResidencyStats = field(default_factory=ResidencyStats)
+    dram_energy_j: float = 0.0
+    baseline_dram_energy_j: float = 0.0
+    duration_s: float = 0.0
+    runs: int = 0
+
+    def record_run(self, residency: ResidencyStats, dram_energy_j: float,
+                   baseline_dram_energy_j: float, duration_s: float) -> None:
+        """Fold one finished kernel run into the account."""
+        self.residency.merge(residency)
+        self.dram_energy_j += dram_energy_j
+        self.baseline_dram_energy_j += baseline_dram_energy_j
+        self.duration_s += duration_s
+        self.runs += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSONL-friendly summary; ``{}`` when no run was recorded."""
+        if not self.runs:
+            return {}
+        return {
+            "states": self.residency.as_dict(),
+            "dram_energy_j": self.dram_energy_j,
+            "baseline_dram_energy_j": self.baseline_dram_energy_j,
+            "duration_s": self.duration_s,
+            "runs": self.runs,
+        }
+
+    def reset(self) -> None:
+        self.residency = ResidencyStats()
+        self.dram_energy_j = 0.0
+        self.baseline_dram_energy_j = 0.0
+        self.duration_s = 0.0
+        self.runs = 0
+
+
+#: The process-wide account the kernel publishes finished runs into.
+GLOBAL_RESIDENCY = ResidencyAccount()
+
+
+def record_run(residency: ResidencyStats, dram_energy_j: float,
+               baseline_dram_energy_j: float, duration_s: float) -> None:
+    """Publish one finished run to the process account."""
+    GLOBAL_RESIDENCY.record_run(residency, dram_energy_j,
+                                baseline_dram_energy_j, duration_s)
+
+
+def drain_residency() -> Dict[str, object]:
+    """Snapshot and clear the process account (one job's worth)."""
+    snapshot = GLOBAL_RESIDENCY.as_dict()
+    GLOBAL_RESIDENCY.reset()
+    return snapshot

@@ -30,6 +30,7 @@ from repro.errors import (
     OfflineBusyError,
     OnlineError,
 )
+from repro.obs.tracer import GLOBAL_TRACER as TRACER
 from repro.os.mm import PhysicalMemoryManager
 from repro.units import MICROSECOND, MILLISECOND
 
@@ -180,6 +181,8 @@ class MemoryBlockManager:
             latency = self.latency.failure_ebusy_s
             self.stats.ebusy_failures += 1
             self.stats.record("ebusy", latency)
+            if TRACER.enabled:
+                TRACER.event("hotplug.ebusy", block=index, latency_s=latency)
             error = OfflineBusyError(f"block {index} has unmovable pages")
             error.latency_s = latency
             raise error
@@ -197,6 +200,8 @@ class MemoryBlockManager:
             latency = self.latency.failure_eagain_s
             self.stats.eagain_failures += 1
             self.stats.record("eagain", latency)
+            if TRACER.enabled:
+                TRACER.event("hotplug.eagain", block=index, latency_s=latency)
             error = OfflineAgainError(f"block {index}: migration failed")
             error.latency_s = latency
             raise error
@@ -207,6 +212,9 @@ class MemoryBlockManager:
         self.stats.offline_success += 1
         self.stats.migrated_pages += migrated
         self.stats.record("offline", latency)
+        if TRACER.enabled:
+            TRACER.event("hotplug.offline", block=index, latency_s=latency,
+                         migrated_pages=migrated)
         return OfflineResult(block=index, success=True, latency_s=latency,
                              migrated_pages=migrated)
 
@@ -248,6 +256,8 @@ class MemoryBlockManager:
         latency = self.latency.online_s
         self.stats.online_success += 1
         self.stats.record("online", latency)
+        if TRACER.enabled:
+            TRACER.event("hotplug.online", block=index, latency_s=latency)
         return latency
 
     def try_online_block(self, index: int) -> OnlineAttempt:

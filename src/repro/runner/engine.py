@@ -20,6 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 from repro.errors import ConfigurationError
 from repro.experiments.common import ExperimentResult
 from repro.faults.context import drain_fault_counts
+from repro.obs.residency import drain_residency
+from repro.obs.tracer import drain_trace
 from repro.perfcounters import drain_perf_counters
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import ExperimentJob, execute_job
@@ -40,26 +42,61 @@ class JobOutcome:
     error: Optional[str] = None
     faults: Optional[Dict[str, int]] = None
     perf: Optional[Dict[str, int]] = None
+    residency: Optional[Dict[str, object]] = None
+    trace: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
         return self.error is None and self.result is not None
 
 
-def _timed_execute(
-        job: ExperimentJob,
-) -> Tuple[ExperimentResult, float, Dict[str, int], Dict[str, int]]:
-    """Worker entry point: run one job, return (result, wall s, faults,
-    perf counters).
+@dataclass
+class _Execution:
+    """Everything one job execution produced, success or failure.
 
-    The fault and perf counters come from the process-global
+    Bundling the drained process-global accounts with the result (and
+    with the error, when the job failed) is the fix for a real leak:
+    the old error paths returned before draining, so a failed job's
+    fault/perf counters sat in the globals and were attributed to the
+    *next* job that ran in the same process.
+    """
+
+    result: Optional[ExperimentResult]
+    wall_s: float
+    faults: Dict[str, int]
+    perf: Dict[str, int]
+    residency: Dict[str, object]
+    trace: Dict[str, object]
+    error: Optional[str] = None
+
+
+def _drain_all() -> Tuple[Dict[str, int], Dict[str, int],
+                          Dict[str, object], Dict[str, object]]:
+    """Drain every process-global account one job may have touched."""
+    return (drain_fault_counts(), drain_perf_counters(),
+            drain_residency(), drain_trace())
+
+
+def _timed_execute(job: ExperimentJob) -> _Execution:
+    """Worker entry point: run one job and drain its process accounts.
+
+    The fault/perf/residency/trace accounts come from the process-global
     accumulators of the process that ran the job — drained here so they
-    survive the trip back from pool workers.
+    survive the trip back from pool workers, and drained on the
+    exception path too so a failed job's counters land on *its* outcome
+    instead of leaking into the next job's.
     """
     start = time.perf_counter()
-    result = execute_job(job)
-    return (result, time.perf_counter() - start, drain_fault_counts(),
-            drain_perf_counters())
+    try:
+        result: Optional[ExperimentResult] = execute_job(job)
+        error = None
+    except Exception:  # noqa: BLE001 — one bad job must not kill a sweep
+        result = None
+        error = traceback.format_exc(limit=8)
+    wall = time.perf_counter() - start
+    faults, perf, residency, trace = _drain_all()
+    return _Execution(result=result, wall_s=wall, faults=faults, perf=perf,
+                      residency=residency, trace=trace, error=error)
 
 
 class ParallelRunner:
@@ -110,19 +147,17 @@ class ParallelRunner:
     def _run_inline(self, job: ExperimentJob) -> JobOutcome:
         self.metrics.job_start(job.experiment)
         try:
-            result, wall, faults, perf = _timed_execute(job)
-        except Exception:  # noqa: BLE001 — one bad job must not kill a sweep
-            wall = 0.0
-            message = traceback.format_exc(limit=8)
-            self.metrics.job_end(job.experiment, wall, cached=False,
-                                 error=message.splitlines()[-1])
-            return JobOutcome(job=job, result=None, wall_s=wall,
-                              cached=False, error=message)
-        self._store(job, result, wall)
-        self.metrics.job_end(job.experiment, wall, cached=False,
-                             faults=faults, perf=perf)
-        return JobOutcome(job=job, result=result, wall_s=wall, cached=False,
-                          faults=faults, perf=perf)
+            execution = _timed_execute(job)
+        except Exception:  # noqa: BLE001 — a broken harness path (not a
+            # job failure: _timed_execute contains those) still must not
+            # kill the sweep, and still must not leave the process
+            # accounts loaded for the next job.
+            faults, perf, residency, trace = _drain_all()
+            execution = _Execution(
+                result=None, wall_s=0.0, faults=faults, perf=perf,
+                residency=residency, trace=trace,
+                error=traceback.format_exc(limit=8))
+        return self._finish(job, execution)
 
     def _run_pool(self, pending: Sequence[Tuple[int, ExperimentJob]],
                   outcomes: List[Optional[JobOutcome]]) -> None:
@@ -138,27 +173,56 @@ class ParallelRunner:
                 for future in done:
                     index, job = futures[future]
                     try:
-                        result, wall, faults, perf = future.result()
-                    except Exception as err:  # noqa: BLE001
+                        execution = future.result()
+                    except Exception as err:  # noqa: BLE001 — the worker
+                        # process itself died; its accounts died with it.
                         message = "".join(traceback.format_exception_only(
                             type(err), err)).strip()
-                        self.metrics.job_end(job.experiment, 0.0,
-                                             cached=False, error=message)
-                        outcomes[index] = JobOutcome(
-                            job=job, result=None, wall_s=0.0,
-                            cached=False, error=message)
-                        continue
-                    self._store(job, result, wall)
-                    self.metrics.job_end(job.experiment, wall, cached=False,
-                                         faults=faults, perf=perf)
-                    outcomes[index] = JobOutcome(
-                        job=job, result=result, wall_s=wall, cached=False,
-                        faults=faults, perf=perf)
+                        execution = _Execution(
+                            result=None, wall_s=0.0, faults={}, perf={},
+                            residency={}, trace={}, error=message)
+                    outcomes[index] = self._finish(job, execution)
+
+    def _finish(self, job: ExperimentJob, execution: _Execution) -> JobOutcome:
+        """Store, meter, and shape one finished execution (either path)."""
+        if execution.error is None and execution.result is not None:
+            self._store(job, execution.result, execution.wall_s)
+        error_line = (execution.error.splitlines()[-1]
+                      if execution.error else None)
+        self.metrics.job_end(job.experiment, execution.wall_s, cached=False,
+                             error=error_line, faults=execution.faults,
+                             perf=execution.perf,
+                             residency=execution.residency,
+                             trace=execution.trace)
+        return JobOutcome(job=job, result=execution.result,
+                          wall_s=execution.wall_s, cached=False,
+                          error=execution.error, faults=execution.faults,
+                          perf=execution.perf,
+                          residency=execution.residency,
+                          trace=execution.trace)
 
     def _store(self, job: ExperimentJob, result: ExperimentResult,
                wall_s: float) -> None:
         if self.cache is not None:
             self.cache.put(job, result, wall_s)
+
+
+def _drained_call(fn: Callable[[ItemT], ResultT],
+                  item: ItemT) -> Tuple[ResultT, float, Dict[str, int],
+                                        Dict[str, int], Dict[str, object],
+                                        Dict[str, object]]:
+    """Run one :func:`fan_out` item and drain its process accounts.
+
+    Module-level (pool-picklable) for the same reason as
+    :func:`_timed_execute`: the drains must happen in the process that
+    ran the item, or a pool worker's fault/perf/residency/trace
+    accumulators never reach the parent's ``job_end`` events.
+    """
+    t0 = time.perf_counter()
+    result = fn(item)
+    wall = time.perf_counter() - t0
+    faults, perf, residency, trace = _drain_all()
+    return result, wall, faults, perf, residency, trace
 
 
 def fan_out(fn: Callable[[ItemT], ResultT], items: Sequence[ItemT],
@@ -168,9 +232,9 @@ def fan_out(fn: Callable[[ItemT], ResultT], items: Sequence[ItemT],
     """Map a picklable callable over *items*, preserving item order.
 
     The generic sibling of :class:`ParallelRunner` for drivers (like the
-    benchmark sweeps) whose unit of work is not a registry experiment.
-    *fn* must be a module-level function (or ``functools.partial`` of
-    one) so it can cross the process boundary.
+    benchmark sweeps and the fleet) whose unit of work is not a registry
+    experiment.  *fn* must be a module-level function (or
+    ``functools.partial`` of one) so it can cross the process boundary.
     """
     if workers < 1:
         raise ConfigurationError("need at least one worker")
@@ -180,9 +244,11 @@ def fan_out(fn: Callable[[ItemT], ResultT], items: Sequence[ItemT],
     if workers == 1 or len(items) <= 1:
         for index, item in enumerate(items):
             bus.job_start(label(item))
-            t0 = time.perf_counter()
-            results[index] = fn(item)
-            bus.job_end(label(item), time.perf_counter() - t0, cached=False)
+            result, wall, faults, perf, residency, trace = \
+                _drained_call(fn, item)
+            results[index] = result
+            bus.job_end(label(item), wall, cached=False, faults=faults,
+                        perf=perf, residency=residency, trace=trace)
     else:
         from concurrent.futures import as_completed
 
@@ -190,12 +256,13 @@ def fan_out(fn: Callable[[ItemT], ResultT], items: Sequence[ItemT],
             futures = {}
             for index, item in enumerate(items):
                 bus.job_start(label(item))
-                futures[pool.submit(fn, item)] = (index, item,
-                                                  time.perf_counter())
+                futures[pool.submit(_drained_call, fn, item)] = (index, item)
             for future in as_completed(futures):
-                index, item, t0 = futures[future]
-                results[index] = future.result()
-                bus.job_end(label(item), time.perf_counter() - t0,
-                            cached=False)
+                index, item = futures[future]
+                result, wall, faults, perf, residency, trace = \
+                    future.result()
+                results[index] = result
+                bus.job_end(label(item), wall, cached=False, faults=faults,
+                            perf=perf, residency=residency, trace=trace)
     bus.suite_end(workers, time.perf_counter() - started)
     return results

@@ -46,12 +46,19 @@ class MetricsBus:
     def job_end(self, experiment: str, wall_s: float, cached: bool,
                 error: Optional[str] = None,
                 faults: Optional[Dict[str, int]] = None,
-                perf: Optional[Dict[str, int]] = None) -> None:
+                perf: Optional[Dict[str, int]] = None,
+                residency: Optional[Dict[str, object]] = None,
+                trace: Optional[Dict[str, object]] = None) -> None:
         """Close a job.  *faults* is the injected-fault counter mapping
         (``op:error -> count``) drained from the job's fault injectors;
         *perf* is the drained simulation perf-counter snapshot (power
-        cache hits/misses, epochs fast-forwarded/stepped).  Either lands
-        in the JSONL event only when non-empty."""
+        cache hits/misses, epochs fast-forwarded/stepped); *residency*
+        is the drained per-power-state account
+        (:func:`repro.obs.residency.drain_residency`); *trace* is the
+        drained tracer snapshot (:func:`repro.obs.tracer.drain_trace`).
+        Each lands in the JSONL event only when non-empty — and each is
+        drained on the error path too, so a failed job's counters never
+        leak into the next job's event."""
         if cached:
             self.cache_hits += 1
         else:
@@ -61,6 +68,10 @@ class MetricsBus:
             extra["faults"] = faults
         if perf:
             extra["perf"] = perf
+        if residency:
+            extra["residency"] = residency
+        if trace:
+            extra["trace"] = trace
         self.emit("job_end", experiment=experiment, wall_s=wall_s,
                   cached=cached, error=error, **extra)
 
@@ -72,10 +83,23 @@ class MetricsBus:
                    if e["event"] == "job_end" and not e.get("cached"))
 
     def utilization(self, workers: int, elapsed_s: float) -> float:
-        """Mean busy fraction of the worker pool over the suite."""
+        """Mean busy fraction of the worker pool over the suite.
+
+        Clamped to 1.0 for display: per-job wall times are measured in
+        the worker while elapsed time is measured in the parent, so
+        clock skew can push the ratio a hair over 1.  Use
+        :meth:`utilization_raw` when the *unclamped* ratio matters —
+        a raw value well above 1.0 means job wall time is being
+        over-accounted (e.g. double-counted overlap), and the clamp
+        would silently hide that bug.
+        """
+        return min(1.0, self.utilization_raw(workers, elapsed_s))
+
+    def utilization_raw(self, workers: int, elapsed_s: float) -> float:
+        """The unclamped busy ratio; > 1.0 exposes over-accounting."""
         if workers <= 0 or elapsed_s <= 0:
             return 0.0
-        return min(1.0, self.job_wall_s() / (workers * elapsed_s))
+        return self.job_wall_s() / (workers * elapsed_s)
 
     def suite_end(self, workers: int, elapsed_s: float) -> Dict[str, object]:
         """Emit (and return) the closing summary event."""
@@ -84,4 +108,5 @@ class MetricsBus:
             jobs=self.cache_hits + self.cache_misses,
             cache_hits=self.cache_hits, cache_misses=self.cache_misses,
             busy_s=self.job_wall_s(),
-            utilization=self.utilization(workers, elapsed_s))
+            utilization=self.utilization(workers, elapsed_s),
+            utilization_raw=self.utilization_raw(workers, elapsed_s))

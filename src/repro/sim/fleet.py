@@ -34,7 +34,12 @@ from repro.dram.organization import DDR4_4GB_X8, MemoryOrganization
 from repro.errors import ConfigurationError
 from repro.sim.server import ServerSimulator
 from repro.units import GIB, MIB
-from repro.workloads.azure import AzureTrace, AzureTraceGenerator
+from repro.workloads.azure import (
+    AzureTrace,
+    AzureTraceGenerator,
+    UtilizationSample,
+    VMEvent,
+)
 
 
 def fleet_server_memory() -> MemoryOrganization:
@@ -80,6 +85,9 @@ class FleetServerResult:
     epochs: int
     fast_forward_fraction: float
     vm_events: int
+    #: Mean memory utilization of this server's shard (its scheduled
+    #: demand, from the per-shard utilization samples).
+    mean_utilization: float = 0.0
 
     @property
     def dram_energy_saving(self) -> float:
@@ -94,6 +102,10 @@ class FleetRunResult:
 
     servers: List[FleetServerResult]
     total_blocks_per_server: int
+    #: The datacenter trace's utilization series (Figure 1's curve),
+    #: carried through so fleet reports can plot demand alongside the
+    #: per-server outcomes.
+    fleet_samples: List[UtilizationSample] = field(default_factory=list)
 
     @property
     def fleet_dram_energy_j(self) -> float:
@@ -168,12 +180,43 @@ class FleetSource:
             duration_s=self.duration_s, seed=self.seed).generate()
 
     def shard(self, index: int) -> AzureTrace:
-        """Server *index*'s slice of the datacenter trace."""
+        """Server *index*'s slice of the datacenter trace.
+
+        The shard carries its own utilization series, not an empty one:
+        per-shard samples are recomputed exactly by replaying the
+        shard's events at the fleet's sample times (departures land
+        before arrivals at a boundary, matching the generator), so the
+        shards' ``used_bytes`` partition the fleet's at every sample
+        and per-server reports can plot utilization like Figure 1.
+        """
         events = [e for e in self.trace.events
                   if e.instance.vm_id % self.num_servers == index]
         per_server = self.trace.capacity_bytes // self.num_servers
-        return AzureTrace(events=events, samples=[],
+        return AzureTrace(events=events,
+                          samples=self._shard_samples(events),
                           capacity_bytes=per_server)
+
+    def _shard_samples(self, events: List[VMEvent]) -> List[UtilizationSample]:
+        """The utilization series these *events* induce, sampled at the
+        fleet trace's boundaries."""
+        samples: List[UtilizationSample] = []
+        cursor = 0
+        used = 0
+        vcpus = 0
+        for fleet_sample in self.trace.samples:
+            now = fleet_sample.time_s
+            while cursor < len(events) and events[cursor].time_s <= now:
+                vm_type = events[cursor].instance.vm_type
+                if events[cursor].kind == "arrive":
+                    used += vm_type.memory_bytes
+                    vcpus += vm_type.vcpus
+                else:
+                    used -= vm_type.memory_bytes
+                    vcpus -= vm_type.vcpus
+                cursor += 1
+            samples.append(UtilizationSample(
+                time_s=now, used_bytes=used, vcpus_used=vcpus))
+        return samples
 
     def jobs(self) -> List[FleetServerJob]:
         """One replay job per server, seeds derived from the fleet seed."""
@@ -211,7 +254,8 @@ def run_fleet_server(job: FleetServerJob) -> FleetServerResult:
         emergency_onlines=result.emergency_onlines,
         epochs=len(result.samples),
         fast_forward_fraction=simulator.ff_stats.fast_forward_fraction,
-        vm_events=len(job.trace.events))
+        vm_events=len(job.trace.events),
+        mean_utilization=job.trace.mean_utilization)
 
 
 def run_fleet(source: FleetSource, workers: int = 1,
@@ -228,8 +272,27 @@ def run_fleet(source: FleetSource, workers: int = 1,
                       metrics=metrics, label=lambda job: job.describe())
     organization = fleet_server_memory()
     blocks = organization.total_capacity_bytes // source.block_bytes
-    return FleetRunResult(servers=list(results),
-                          total_blocks_per_server=blocks)
+    fleet = FleetRunResult(servers=list(results),
+                           total_blocks_per_server=blocks,
+                           fleet_samples=list(source.trace.samples))
+    if metrics is not None:
+        for server in fleet.servers:
+            metrics.emit(
+                "fleet_server", index=server.index,
+                vm_events=server.vm_events,
+                dram_energy_saving=server.dram_energy_saving,
+                mean_offline_blocks=server.mean_offline_blocks,
+                max_offline_blocks=server.max_offline_blocks,
+                mean_dpd_fraction=server.mean_dpd_fraction,
+                emergency_onlines=server.emergency_onlines,
+                mean_utilization=server.mean_utilization)
+        metrics.emit(
+            "fleet_end", servers=len(fleet.servers),
+            fleet_dram_energy_saving=fleet.fleet_dram_energy_saving,
+            worst_server_saving=fleet.worst_server_saving,
+            p95_max_offline_blocks=fleet.p95_max_offline_blocks,
+            total_emergency_onlines=fleet.total_emergency_onlines)
+    return fleet
 
 
 #: Reverse index for quick lookups in reports/tests.

@@ -46,6 +46,9 @@ from repro import perfcounters
 from repro.core.daemon import DaemonStats
 from repro.errors import ConfigurationError
 from repro.ksm.content import RegionContent
+from repro.obs import residency as residency_mod
+from repro.obs.residency import ResidencyStats
+from repro.obs.tracer import GLOBAL_TRACER as TRACER
 from repro.os.hotplug import HotplugStats
 from repro.power.model import PowerCacheStats
 from repro.sim.fastforward import FastForwardStats, SimClock, quiescent_horizon
@@ -118,6 +121,9 @@ class KernelRun:
     baseline_dram_energy_j: float
     swap_stall_s: float
     duration_s: float
+    #: Capacity-weighted per-power-state residency for the measured
+    #: span; its buckets sum to ``duration_s`` (up to float rounding).
+    residency: ResidencyStats = field(default_factory=ResidencyStats)
 
 
 # --- the source protocol -----------------------------------------------------
@@ -393,6 +399,7 @@ class EpochKernel:
                              bandwidth: float, row_miss_rate: float,
                              churn: bool, samples: List[EpochSample],
                              dram_energy: float, baseline_energy: float,
+                             residency: ResidencyStats,
                              ) -> Tuple[float, float]:
         """Advance epochs in [clock.now_s, end_s) without stepping the stack.
 
@@ -416,6 +423,11 @@ class EpochKernel:
         stats = sim.ff_stats
         stats.windows += 1
         baseline_w = self._baseline_power_w(bandwidth, row_miss_rate)
+        active_res = min(1.0, bandwidth / PEAK_DRAM_BANDWIDTH_BYTES_PER_S)
+        if TRACER.enabled:
+            TRACER.event("ff.enter", t_s=clock.now_s, end_s=end_s,
+                         churn=churn)
+            skipped_before = stats.epochs_fast_forwarded
         if not churn:
             # No per-epoch side effects at all: replay the remaining float
             # arithmetic (monitor timer, clock, energy sums) as straight
@@ -447,6 +459,13 @@ class EpochKernel:
             daemon._since_monitor_s = since
             clock.now_s = now
             stats.epochs_fast_forwarded += skipped
+            # One closed-form span for the whole window: the operating
+            # point is constant, so this equals the per-epoch sum up to
+            # float rounding (which is why the residency invariant is
+            # pinned with approx, never bitwise).
+            residency.add_span(skipped * epoch_s, active_res, dpd)
+            if TRACER.enabled:
+                TRACER.event("ff.exit", t_s=now, epochs=skipped)
             return dram_energy, baseline_energy
         template = None
         while clock.now_s < end_s:
@@ -464,6 +483,8 @@ class EpochKernel:
                     samples.append(sample)
                     dram_energy += sample.dram_power_w * epoch_s
                     baseline_energy += baseline_w * epoch_s
+                    residency.add_span(epoch_s, active_res,
+                                       sample.dpd_fraction)
                     stats.epochs_stepped += 1
                     clock.tick()
                     break
@@ -473,8 +494,12 @@ class EpochKernel:
             samples.append(template._replace(time_s=t))
             dram_energy += template.dram_power_w * epoch_s
             baseline_energy += baseline_w * epoch_s
+            residency.add_span(epoch_s, active_res, template.dpd_fraction)
             stats.epochs_fast_forwarded += 1
             clock.tick()
+        if TRACER.enabled:
+            TRACER.event("ff.exit", t_s=clock.now_s,
+                         epochs=stats.epochs_fast_forwarded - skipped_before)
         return dram_energy, baseline_energy
 
     # --- the unified run loop ---------------------------------------------
@@ -502,8 +527,14 @@ class EpochKernel:
         samples: List[EpochSample] = []
         dram_energy = 0.0
         baseline_energy = 0.0
+        residency = ResidencyStats()
         duration = source.duration_s
         use_ff = self._fast_forward_usable(pinned_churn, epoch_s)
+        if TRACER.enabled:
+            TRACER.event("kernel.run_start", t_s=0.0,
+                         source=type(source).__name__,
+                         duration_s=duration, epoch_s=epoch_s,
+                         warmup_s=warmup_s, fast_forward=use_ff)
         clock = SimClock(epoch_s)
         while clock.now_s < duration:
             t = clock.now_s
@@ -517,7 +548,8 @@ class EpochKernel:
                     dram_energy, baseline_energy = \
                         self._fast_forward_window(
                             clock, end, bandwidth, row_miss, pinned_churn,
-                            samples, dram_energy, baseline_energy)
+                            samples, dram_energy, baseline_energy,
+                            residency)
                     continue
             system.advance_time(t)
             source.apply(t)
@@ -530,12 +562,23 @@ class EpochKernel:
             dram_energy += sample.dram_power_w * epoch_s
             baseline_energy += self._baseline_power_w(bandwidth,
                                                       row_miss) * epoch_s
+            residency.add_span(
+                epoch_s,
+                min(1.0, bandwidth / PEAK_DRAM_BANDWIDTH_BYTES_PER_S),
+                sample.dpd_fraction)
             sim.ff_stats.epochs_stepped += 1
             clock.tick()
         self._publish_ff_stats()
+        residency_mod.record_run(residency, dram_energy, baseline_energy,
+                                 duration)
+        if TRACER.enabled:
+            TRACER.event("kernel.run_end", t_s=duration,
+                         samples=len(samples), dram_energy_j=dram_energy,
+                         baseline_dram_energy_j=baseline_energy)
         return KernelRun(samples=samples,
                          dram_energy_j=dram_energy,
                          baseline_dram_energy_j=baseline_energy,
                          swap_stall_s=(sim.swap.stats.stall_s
                                        - swap_stall_before),
-                         duration_s=duration)
+                         duration_s=duration,
+                         residency=residency)

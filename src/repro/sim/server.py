@@ -18,10 +18,11 @@ the reference path).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.errors import AllocationError
+from repro.obs.residency import ResidencyStats
 from repro.os.page import OwnerKind
 from repro.os.swap import SwapSpace
 from repro.power.idd import DPD_RESIDUAL_FRACTION, SPARE_ROW_FRACTION
@@ -67,6 +68,8 @@ class WorkloadRunResult:
     baseline_dram_energy_j: float
     overhead_fraction: float
     swap_shortfall_pages: int
+    #: Capacity-weighted time per DRAM power state over the measured span.
+    residency: ResidencyStats = field(default_factory=ResidencyStats)
 
     @property
     def runtime_s(self) -> float:
@@ -100,6 +103,8 @@ class VMTraceRunResult:
     baseline_dram_energy_j: float
     ksm_saved_pages_final: int
     emergency_onlines: int
+    #: Capacity-weighted time per DRAM power state over the measured span.
+    residency: ResidencyStats = field(default_factory=ResidencyStats)
 
     @property
     def mean_offline_blocks(self) -> float:
@@ -154,6 +159,8 @@ class MixRunResult:
     baseline_dram_energy_j: float
     overhead_by_profile: "dict[str, float]"
     swap_stall_s: float
+    #: Capacity-weighted time per DRAM power state over the measured span.
+    residency: ResidencyStats = field(default_factory=ResidencyStats)
 
     @property
     def dram_energy_saving(self) -> float:
@@ -358,7 +365,8 @@ class ServerSimulator:
             baseline_dram_energy_j=(run.baseline_dram_energy_j
                                     * (1.0 + overhead)),
             overhead_fraction=overhead,
-            swap_shortfall_pages=source.shortfall_pages)
+            swap_shortfall_pages=source.shortfall_pages,
+            residency=run.residency)
 
     # --- VM-trace runs (Figures 1, 12, 13) --------------------------------------
 
@@ -379,7 +387,8 @@ class ServerSimulator:
             dram_energy_j=run.dram_energy_j,
             baseline_dram_energy_j=run.baseline_dram_energy_j,
             ksm_saved_pages_final=(ksm.total_saved_pages if ksm else 0),
-            emergency_onlines=self.system.daemon.stats.emergency_onlines)
+            emergency_onlines=self.system.daemon.stats.emergency_onlines,
+            residency=run.residency)
 
     # --- co-located runs --------------------------------------------------------
 
@@ -419,4 +428,5 @@ class ServerSimulator:
             baseline_dram_energy_j=(run.baseline_dram_energy_j
                                     * (1.0 + worst)),
             overhead_by_profile=overheads,
-            swap_stall_s=run.swap_stall_s)
+            swap_stall_s=run.swap_stall_s,
+            residency=run.residency)

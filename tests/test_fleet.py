@@ -94,6 +94,47 @@ class TestFleetRun:
         assert empty.dram_energy_saving == 0.0
 
 
+class TestShardSamples:
+    def test_shard_samples_partition_the_fleet_samples(self, source):
+        """At every sample time the shards' utilization must add back
+        up to the fleet trace's — the samples are a decomposition, not
+        a re-simulation."""
+        shards = [source.shard(i) for i in range(source.num_servers)]
+        for shard in shards:
+            assert len(shard.samples) == len(source.trace.samples)
+        for index, fleet_sample in enumerate(source.trace.samples):
+            assert sum(s.samples[index].used_bytes
+                       for s in shards) == fleet_sample.used_bytes
+            assert sum(s.samples[index].vcpus_used
+                       for s in shards) == fleet_sample.vcpus_used
+            assert all(s.samples[index].time_s == fleet_sample.time_s
+                       for s in shards)
+
+    def test_shard_mean_utilization_reaches_results(self, fleet_result):
+        for server in fleet_result.servers:
+            assert 0.0 <= server.mean_utilization <= 1.0
+        assert any(s.mean_utilization > 0.0 for s in fleet_result.servers)
+
+    def test_fleet_result_carries_fleet_samples(self, source, fleet_result):
+        assert fleet_result.fleet_samples == list(source.trace.samples)
+
+
+class TestFleetMetricsEvents:
+    def test_run_fleet_emits_server_and_fleet_events(self, source):
+        from repro.runner import MetricsBus
+
+        metrics = MetricsBus()
+        result = run_fleet(source, metrics=metrics)
+        servers = [e for e in metrics.events if e["event"] == "fleet_server"]
+        assert sorted(e["index"] for e in servers) == [0, 1, 2]
+        for event in servers:
+            assert 0.0 <= event["dram_energy_saving"] <= 1.0
+        (end,) = [e for e in metrics.events if e["event"] == "fleet_end"]
+        assert end["servers"] == source.num_servers
+        assert end["fleet_dram_energy_saving"] == pytest.approx(
+            result.fleet_dram_energy_saving)
+
+
 class TestFleetExperiment:
     def test_registered_and_runs_fast(self):
         from repro.experiments.registry import run_experiment, runners

@@ -1,0 +1,300 @@
+"""The observability layer: tracer, residency accounting, reports, gate."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    GLOBAL_TRACER,
+    ResidencyStats,
+    Tracer,
+    drain_residency,
+    drain_trace,
+    trace_scope,
+)
+from repro.obs.report import build_report, load_jsonl, markdown_to_html
+from repro.runner import MetricsBus, ParallelRunner, suite_jobs
+
+
+@pytest.fixture(autouse=True)
+def _clean_process_accounts():
+    """Obs globals must not leak between tests (or from earlier ones)."""
+    GLOBAL_TRACER.disable()
+    drain_trace()
+    drain_residency()
+    yield
+    GLOBAL_TRACER.disable()
+    drain_trace()
+    drain_residency()
+
+
+class TestTracer:
+    def test_disabled_by_default_and_free(self):
+        tracer = Tracer()
+        tracer.event("daemon.offline", t_s=1.0, block=3)
+        tracer.counter("memctrl.wakeups.power_down")
+        tracer.gauge("blocks.offline", 12.0)
+        assert tracer.snapshot() == {}
+
+    def test_event_counter_gauge_roundtrip(self):
+        tracer = Tracer(enabled=True)
+        tracer.event("daemon.offline", t_s=1.5, block=3)
+        tracer.counter("wakeups", delta=2)
+        tracer.counter("wakeups")
+        tracer.gauge("offline_blocks", 7.0)
+        snap = tracer.snapshot()
+        assert snap["events"] == [
+            {"kind": "daemon.offline", "t_s": 1.5, "block": 3}]
+        assert snap["counters"] == {"wakeups": 3}
+        assert snap["gauges"] == {"offline_blocks": 7.0}
+
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        tracer = Tracer(capacity=4, enabled=True)
+        for i in range(10):
+            tracer.event("tick", t_s=float(i))
+        snap = tracer.snapshot()
+        assert [e["t_s"] for e in snap["events"]] == [6.0, 7.0, 8.0, 9.0]
+        assert snap["dropped"] == 6
+
+    def test_span_emits_enter_exit_with_wall(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("ff", t_s=10.0, window=1):
+            pass
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == ["ff.enter", "ff.exit"]
+        exit_event = tracer.events[-1].as_dict()
+        assert exit_event["wall_s"] >= 0.0
+        assert exit_event["window"] == 1
+
+    def test_drain_clears_everything(self):
+        tracer = Tracer(enabled=True)
+        tracer.event("x")
+        tracer.counter("c")
+        first = tracer.drain()
+        assert first["events"] and first["counters"]
+        assert tracer.drain() == {}
+
+    def test_trace_scope_restores_enablement(self):
+        assert not GLOBAL_TRACER.enabled
+        with trace_scope():
+            assert GLOBAL_TRACER.enabled
+            GLOBAL_TRACER.event("inside")
+        assert not GLOBAL_TRACER.enabled
+        assert drain_trace()["events"] == [
+            {"kind": "inside", "t_s": None}]
+
+    def test_dump_appends_jsonl(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        tracer.event("a", t_s=1.0)
+        tracer.event("b", t_s=2.0)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.dump(path) == 2
+        assert tracer.dump(path) == 2  # append, not truncate
+        assert len(load_jsonl(path)) == 4
+
+
+class TestResidencyStats:
+    def test_add_span_buckets_sum_to_span(self):
+        stats = ResidencyStats()
+        stats.add_span(10.0, active_residency=0.25, dpd_fraction=0.6)
+        assert stats.total_s == pytest.approx(10.0)
+        assert stats.deep_power_down_s == pytest.approx(6.0)
+        assert stats.active_standby_s == pytest.approx(1.0)
+        assert stats.precharge_standby_s == pytest.approx(3.0)
+
+    def test_fractions_normalize(self):
+        stats = ResidencyStats()
+        stats.add_span(4.0, active_residency=0.0, dpd_fraction=0.5)
+        fractions = stats.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert fractions["deep_power_down"] == pytest.approx(0.5)
+
+    def test_empty_fractions(self):
+        assert ResidencyStats().fractions() == {}
+
+
+def _residency_of(fast: bool):
+    from tests.kernel_scenarios import small_system
+    from repro.sim.server import ServerSimulator
+    from repro.workloads.registry import profile_by_name
+
+    sim = ServerSimulator(small_system(), seed=5, fast_forward=fast)
+    result = sim.run_workload(profile_by_name("429.mcf"), epoch_s=1.0,
+                              pinned_churn=True)
+    return sim, result
+
+
+class TestKernelResidency:
+    @pytest.mark.parametrize("fast", [False, True])
+    def test_buckets_sum_to_run_duration(self, fast):
+        sim, result = _residency_of(fast)
+        duration = sim.ff_stats.epochs_total * 1.0  # epoch_s
+        assert result.residency.total_s == pytest.approx(duration)
+
+    def test_fast_forward_matches_slow_path_closely(self):
+        # The ff window accounts its no-churn span in closed form; the
+        # slow path epoch by epoch.  Same operating points, so the
+        # buckets agree up to float rounding.
+        slow = _residency_of(False)[1].residency
+        fast = _residency_of(True)[1].residency
+        for state, seconds in slow.as_dict().items():
+            assert fast.as_dict()[state] == pytest.approx(seconds)
+
+    def test_runs_publish_to_process_account(self):
+        drain_residency()
+        _residency_of(True)
+        account = drain_residency()
+        assert account["runs"] == 1
+        assert account["duration_s"] > 0.0
+        assert sum(account["states"].values()) == pytest.approx(
+            account["duration_s"])
+
+
+class TestDrainAcrossWorkers:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_job_end_carries_trace_from_the_worker(self, tmp_path, workers):
+        path = tmp_path / "metrics.jsonl"
+        metrics = MetricsBus(path=path)
+        with trace_scope():
+            # fault-storm drives the epoch kernel (tab1/fig3 are
+            # analytic), so its trace carries kernel run markers.
+            ParallelRunner(workers=workers, metrics=metrics).run(
+                suite_jobs(["fault-storm"], fast=True))
+        events = load_jsonl(path)
+        (job_end,) = [e for e in events if e["event"] == "job_end"]
+        trace = job_end.get("trace") or {}
+        kinds = {e["kind"] for e in trace.get("events", [])}
+        assert any(kind.startswith("daemon.") for kind in kinds)
+        assert any(kind.startswith("hotplug.") for kind in kinds)
+        # ...and nothing lingers in this process afterwards: whichever
+        # process ran the job drained it at the source.
+        assert drain_trace() == {}
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def fleet_metrics(self, tmp_path_factory):
+        from repro.sim.fleet import FleetSource, run_fleet
+
+        path = tmp_path_factory.mktemp("obs") / "metrics.jsonl"
+        metrics = MetricsBus(path=path)
+        source = FleetSource(num_servers=2, duration_s=2 * 3600.0, seed=7)
+        with trace_scope():
+            run_fleet(source, metrics=metrics)
+        drain_trace()
+        return load_jsonl(path)
+
+    def test_fleet_report_has_every_section(self, fleet_metrics):
+        report = build_report(fleet_metrics, title="fleet test")
+        for heading in ("# fleet test", "## Suite summary", "## Jobs",
+                        "## Energy & savings", "## Power-state residencies",
+                        "## Daemon decision timeline", "## Fleet servers"):
+            assert heading in report
+        assert "daemon.offline" in report
+
+    def test_report_residencies_cover_both_servers(self, fleet_metrics):
+        job_ends = [e for e in fleet_metrics if e["event"] == "job_end"]
+        assert len(job_ends) == 2
+        for event in job_ends:
+            residency = event["residency"]
+            assert residency["duration_s"] > 0.0
+            assert sum(residency["states"].values()) == pytest.approx(
+                residency["duration_s"])
+
+    def test_cli_report_writes_markdown_and_html(self, fleet_metrics,
+                                                 tmp_path):
+        from repro.cli import main
+
+        metrics_path = tmp_path / "metrics.jsonl"
+        with metrics_path.open("w") as handle:
+            for event in fleet_metrics:
+                handle.write(json.dumps(event) + "\n")
+        md_out = tmp_path / "report.md"
+        assert main(["report", str(metrics_path), "--out",
+                     str(md_out)]) == 0
+        assert "## Power-state residencies" in md_out.read_text()
+        html_out = tmp_path / "report.html"
+        assert main(["report", str(metrics_path), "--out",
+                     str(html_out)]) == 0
+        assert html_out.read_text().startswith("<!doctype html>")
+
+    def test_markdown_to_html_renders_tables(self):
+        html = markdown_to_html("# T\n\n| a | b |\n| --- | --- |\n"
+                                "| 1 | **2** |\n")
+        assert "<h1>T</h1>" in html
+        assert "<td>1</td>" in html
+        assert "<strong>2</strong>" in html
+
+
+class TestBenchGate:
+    def _doc(self, cal, walls, mode="quick", identical=True):
+        scenarios = {
+            name: {"wall_s_fast": fast, "wall_s_slow": slow,
+                   "identical": identical}
+            for name, (fast, slow) in walls.items()}
+        return {"benchmark": "perf_core", "mode": mode,
+                "calibration_s": cal, "scenarios": scenarios}
+
+    def test_clean_run_passes(self):
+        from repro.bench import compare_perf_core
+
+        doc = self._doc(1.0, {"vm_trace": (0.5, 2.0)})
+        regressions, rows = compare_perf_core(doc, doc)
+        assert regressions == []
+        assert all(not r["regressed"] for r in rows)
+
+    def test_real_slowdown_fails(self):
+        from repro.bench import compare_perf_core
+
+        base = self._doc(1.0, {"vm_trace": (0.5, 2.0)})
+        fresh = self._doc(1.0, {"vm_trace": (0.5, 2.6)})
+        regressions, rows = compare_perf_core(fresh, base)
+        assert any("vm_trace.wall_s_slow" in r for r in regressions)
+
+    def test_calibration_cancels_machine_speed(self):
+        from repro.bench import compare_perf_core
+
+        base = self._doc(1.0, {"vm_trace": (0.5, 2.0)})
+        # Uniformly 2x slower machine: walls and calibration both double.
+        fresh = self._doc(2.0, {"vm_trace": (1.0, 4.0)})
+        regressions, rows = compare_perf_core(fresh, base)
+        assert regressions == []
+        assert all(r["ratio"] == pytest.approx(1.0) for r in rows)
+
+    def test_noise_floor_forgives_tiny_walls(self):
+        from repro.bench import compare_perf_core
+
+        # 30% up on a 20 ms wall is scheduler noise, not a regression.
+        base = self._doc(1.0, {"workload": (0.020, 0.020)})
+        fresh = self._doc(1.0, {"workload": (0.026, 0.026)})
+        regressions, _ = compare_perf_core(fresh, base)
+        assert regressions == []
+
+    def test_mode_mismatch_is_terminal(self):
+        from repro.bench import compare_perf_core
+
+        base = self._doc(1.0, {"vm_trace": (0.5, 2.0)}, mode="full")
+        fresh = self._doc(1.0, {"vm_trace": (0.5, 2.0)}, mode="quick")
+        regressions, rows = compare_perf_core(fresh, base)
+        assert rows == []
+        assert "mode mismatch" in regressions[0]
+
+    def test_missing_scenario_and_broken_identity_fail(self):
+        from repro.bench import compare_perf_core
+
+        base = self._doc(1.0, {"vm_trace": (0.5, 2.0),
+                               "mix": (0.1, 0.1)})
+        fresh = self._doc(1.0, {"vm_trace": (0.5, 2.0)},
+                          identical=False)
+        regressions, _ = compare_perf_core(fresh, base)
+        assert any("missing" in r for r in regressions)
+        assert any("identical" in r for r in regressions)
+
+    def test_cli_gate_exit_codes(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        missing = main(["bench", "--compare",
+                        "--baseline", str(tmp_path / "nope.json")])
+        assert missing == 2
+        assert "not found" in capsys.readouterr().err

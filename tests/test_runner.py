@@ -241,6 +241,69 @@ class TestAggregator:
                                        "zzz-extension"]
 
 
+class TestErrorPathDraining:
+    """A failed job's counters must land on *its* outcome, not leak
+    into the next job that runs in the same process."""
+
+    def test_failed_job_keeps_its_counters(self, monkeypatch, tmp_path):
+        import repro.runner.engine as engine
+        from repro import perfcounters
+
+        def fake_execute(job):
+            if job.experiment == "tab1":
+                perfcounters.GLOBAL.epochs_stepped += 7
+                raise RuntimeError("mid-job failure")
+            return ExperimentResult(experiment=job.experiment,
+                                    description="d")
+
+        monkeypatch.setattr(engine, "execute_job", fake_execute)
+        metrics = MetricsBus(path=tmp_path / "metrics.jsonl")
+        outcomes = ParallelRunner(workers=1, metrics=metrics).run(
+            [ExperimentJob("tab1", fast=True),
+             ExperimentJob("fig3", fast=True)])
+
+        failed, clean = outcomes
+        assert not failed.ok and clean.ok
+        assert failed.perf == {"epochs_stepped": 7}
+        assert not clean.perf  # nothing leaked forward
+
+        ends = {e["experiment"]: e for e in metrics.events
+                if e["event"] == "job_end"}
+        assert ends["tab1"]["perf"] == {"epochs_stepped": 7}
+        assert "mid-job failure" in ends["tab1"]["error"]
+        assert "perf" not in ends["fig3"]
+
+    def test_harness_failure_still_drains(self, monkeypatch):
+        import repro.runner.engine as engine
+        from repro import perfcounters
+
+        def boom(job):
+            perfcounters.GLOBAL.power_cache_hits += 3
+            raise RuntimeError("harness broke")
+
+        monkeypatch.setattr(engine, "_timed_execute", boom)
+        ParallelRunner(workers=1).run([ExperimentJob("tab1", fast=True)])
+        from repro.perfcounters import drain_perf_counters
+
+        assert drain_perf_counters() == {}  # nothing left loaded
+
+
+class TestUtilization:
+    def test_raw_is_unclamped_and_clamp_is_visible(self):
+        metrics = MetricsBus()
+        # Over-accounted: 3 s of job wall in a 1-worker, 2 s suite.
+        metrics.job_end("a", 3.0, cached=False)
+        summary = metrics.suite_end(workers=1, elapsed_s=2.0)
+        assert summary["utilization"] == 1.0
+        assert summary["utilization_raw"] == pytest.approx(1.5)
+        assert metrics.utilization_raw(1, 2.0) == pytest.approx(1.5)
+
+    def test_degenerate_inputs_are_zero(self):
+        metrics = MetricsBus()
+        assert metrics.utilization_raw(0, 1.0) == 0.0
+        assert metrics.utilization_raw(2, 0.0) == 0.0
+
+
 class TestCLIIntegration:
     def test_run_two_experiments_parallel_with_cache(self, tmp_path, capsys):
         from repro.cli import main
