@@ -25,6 +25,7 @@ machine-speed differences while still catching real slowdowns.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 import time
 from typing import Dict, List, Optional, Tuple, Union
@@ -128,7 +129,9 @@ def _time_scenario(runner, full: bool) -> Dict[str, object]:
     return {
         "wall_s_slow": wall_slow,
         "wall_s_fast": wall_fast,
-        "speedup": wall_slow / wall_fast if wall_fast > 0 else 0.0,
+        # A sub-resolution fast wall reads as infinite speedup, not as
+        # the catastrophic "0.0x" a plain guard would hand trend tooling.
+        "speedup": wall_slow / wall_fast if wall_fast > 0 else math.inf,
         "identical": outcome_slow == outcome_fast,
         "epochs_total": stats.epochs_total,
         "epochs_fast_forwarded": stats.epochs_fast_forwarded,
@@ -207,9 +210,26 @@ def run_perf_core(full: bool = False,
     if out is not None:
         path = pathlib.Path(out)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        path.write_text(json.dumps(_json_safe(document), indent=2,
+                                   sort_keys=True, allow_nan=False) + "\n")
         _mirror_to_repo_root(path)
     return document
+
+
+def _json_safe(value: object) -> object:
+    """*value* with non-finite floats replaced by ``None``.
+
+    ``json.dumps`` would happily emit ``Infinity`` — a token strict JSON
+    parsers (and most trend dashboards) reject — so an unbounded speedup
+    is serialized as ``null`` instead.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
 
 
 def render_perf_core(document: Dict[str, object]) -> str:
@@ -225,7 +245,8 @@ def render_perf_core(document: Dict[str, object]) -> str:
             name,
             f"{s['wall_s_slow']:.3f} s",
             f"{s['wall_s_fast']:.3f} s",
-            f"{s['speedup']:.1f}x",
+            (f"{s['speedup']:.1f}x"
+             if math.isfinite(s["speedup"]) else "inf"),
             f"{s['epochs_fast_forwarded']}/{s['epochs_total']}",
             f"{s['power_cache_hit_rate']:.0%}",
             "yes" if s["identical"] else "NO")
@@ -311,6 +332,10 @@ def compare_perf_core(
                 "scenario": name, "metric": metric,
                 "baseline_s": base_wall, "fresh_s": fresh_wall,
                 "ratio": ratio, "calibrated": calibrated,
+                # Explicit per-row basis: consumers no longer have to
+                # infer from a side-channel bool whether this ratio
+                # cancelled machine speed or compared raw wall times.
+                "basis": "calibrated" if calibrated else "raw",
                 "regressed": regressed,
             })
             if regressed:
@@ -325,17 +350,31 @@ def render_compare(regressions: List[str], rows: List[Dict[str, object]],
     """The CLI's view of one :func:`compare_perf_core` outcome."""
     from repro.analysis.report import Table
 
-    basis = ("calibrated" if all(r["calibrated"] for r in rows) and rows
-             else "raw wall-time")
+    bases = {row.get("basis", "calibrated" if row.get("calibrated")
+                     else "raw") for row in rows}
+    if not rows:
+        basis = "raw wall-time"
+    elif bases == {"calibrated"}:
+        basis = "calibrated"
+    elif bases == {"raw"}:
+        basis = "raw wall-time"
+    else:
+        basis = "mixed-basis"
+    mixed = len(bases) > 1
     table = Table(
         f"bench regression gate ({basis} ratios, "
         f"threshold {1.0 + threshold:.2f}x)",
         ["scenario", "metric", "baseline", "fresh", "ratio", "status"])
     for row in rows:
+        ratio_cell = f"{row['ratio']:.2f}x"
+        if mixed:
+            # Only annotate per-row when the bases actually differ —
+            # the table header already names a uniform basis.
+            ratio_cell += f" ({row.get('basis', '?')})"
         table.add_row(
             row["scenario"], row["metric"],
             f"{row['baseline_s']:.3f} s", f"{row['fresh_s']:.3f} s",
-            f"{row['ratio']:.2f}x",
+            ratio_cell,
             "REGRESSED" if row["regressed"] else "ok")
     lines = [table.render()]
     if regressions:

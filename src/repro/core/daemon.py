@@ -257,13 +257,19 @@ class GreenDIMMDaemon:
         offline-block count.  Returns the blocks brought back.
         """
         onlined: List[int] = []
-        skipped: Set[int] = set()
-        while self.mm.free_pages < target_free_pages:
-            offline = [b for b in self.hotplug.offline_blocks()
-                       if b not in skipped]
-            if not offline:
+        # Track free pages incrementally: each successful online adds
+        # exactly one block of frames, and nothing else in this loop
+        # changes the free total.
+        free_pages = self.mm.free_pages
+        if free_pages >= target_free_pages:
+            return onlined
+        # The offline set only shrinks while this loop runs (each pass
+        # removes the block it on-lines, or skips it for good), so one
+        # sorted snapshot yields the same lowest-first attempt order as
+        # re-computing the minimum every iteration.
+        for block in sorted(self.hotplug.offline_set()):
+            if free_pages >= target_free_pages:
                 break
-            block = min(offline)
             # The wake-up poll (Section 4.3) is controller wait, not
             # daemon CPU time: it lands in wakeup_wait_s only, so
             # cpu_overhead_fraction reflects cycles actually consumed.
@@ -273,7 +279,6 @@ class GreenDIMMDaemon:
                 self.stats.wakeup_wait_s += getattr(err, "wait_s", 0.0)
                 self.stats.wakeup_timeouts += 1
                 self._record(DaemonEvent(now_s, "wakeup_timeout", block))
-                skipped.add(block)
                 continue
             self.stats.wakeup_wait_s += wait_s
             try:
@@ -283,7 +288,6 @@ class GreenDIMMDaemon:
                 self.stats.busy_s += getattr(err, "latency_s", 0.0)
                 self.stats.busy_online_s += getattr(err, "latency_s", 0.0)
                 self._record(DaemonEvent(now_s, "online_failed", block))
-                skipped.add(block)
                 continue
             self.power_control.block_onlined(block, now_s)
             self.stats.busy_s += latency
@@ -292,6 +296,7 @@ class GreenDIMMDaemon:
             self.stats.onlined_bytes_total += self.config.block_bytes
             self._record(DaemonEvent(now_s, "online", block))
             onlined.append(block)
+            free_pages += self._block_pages
         return onlined
 
     def emergency_online(self, needed_pages: int, now_s: float = 0.0) -> int:

@@ -46,6 +46,21 @@ class PowerBlockMap:
         else:
             self.groups_per_block = 1
             self.blocks_per_group = group_bytes // block_bytes
+        # The topology is static, so both directions of the map are
+        # precomputed once; per-event queries (every offline/online used
+        # to re-derive group ranges through the address-mapping property
+        # chain) become table lookups.
+        # Contiguity was validated above, so both tables reduce to range
+        # arithmetic (identical to mapping.groups_of_range /
+        # group_address_range, without the per-call property chains).
+        self._block_groups: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(range(b * block_bytes // group_bytes,
+                        ((b + 1) * block_bytes - 1) // group_bytes + 1))
+            for b in range(self.num_blocks))
+        self._group_blocks: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(range(g * group_bytes // block_bytes,
+                        ((g + 1) * group_bytes - 1) // block_bytes + 1))
+            for g in range(self.num_groups))
 
     # --- forward map ------------------------------------------------------
 
@@ -53,17 +68,13 @@ class PowerBlockMap:
         """Sub-array groups that block *block* overlaps."""
         if not 0 <= block < self.num_blocks:
             raise AddressError(f"block {block} out of range")
-        start = block * self.block_bytes
-        return tuple(self.mapping.groups_of_range(start, self.block_bytes))
+        return self._block_groups[block]
 
     def blocks_of_group(self, group: int) -> Tuple[int, ...]:
         """Memory blocks that together cover group *group*."""
         if not 0 <= group < self.num_groups:
             raise AddressError(f"group {group} out of range")
-        start, end = self.mapping.group_address_range(group)
-        first = start // self.block_bytes
-        last = (end - 1) // self.block_bytes
-        return tuple(range(first, last + 1))
+        return self._group_blocks[group]
 
     # --- gating eligibility -----------------------------------------------
 

@@ -18,10 +18,21 @@ from repro.core.mapping import PowerBlockMap
 from repro.memctrl.moderegister import ModeRegisterFile
 from repro.obs.tracer import GLOBAL_TRACER as TRACER
 from repro.memctrl.registers import GreenDIMMControlRegister
+from repro.soa import GroupGateStore
 
 
 class GreenDIMMPowerControl:
-    """Keeps the gating register consistent with the offline block set."""
+    """Keeps the gating register consistent with the offline block set.
+
+    Gate eligibility is tracked incrementally in a
+    :class:`~repro.soa.GroupGateStore`: each offline/online event bumps
+    the coverage count of the groups the block overlaps, and the
+    fully-offline / pair-satisfied check is a vectorized compare —
+    replacing the per-event rescan that re-derived every group's block
+    range through the address-mapping layer.  The produced group lists
+    are identical (ascending order, same membership) to the reference
+    :meth:`~repro.core.mapping.PowerBlockMap.gateable_groups` rescan.
+    """
 
     def __init__(self, block_map: PowerBlockMap,
                  register: Optional[GreenDIMMControlRegister] = None,
@@ -35,6 +46,13 @@ class GreenDIMMPowerControl:
             total_ranks=block_map.mapping.organization.total_ranks,
             mask_bits=max(64, block_map.num_groups))
         self._offline_blocks: Set[int] = set()
+        self.soa = GroupGateStore(
+            num_blocks=block_map.num_blocks,
+            num_groups=block_map.num_groups,
+            blocks_per_group=block_map.blocks_per_group,
+            groups_of_block=[block_map.groups_of_block(b)
+                             for b in range(block_map.num_blocks)],
+            pair_gating=pair_gating)
         self.wakeup_wait_s = 0.0
         self.mrs_time_ns = 0.0
 
@@ -51,13 +69,12 @@ class GreenDIMMPowerControl:
         Returns the groups gated by this event.
         """
         self._offline_blocks.add(block)
-        eligible = set(self.block_map.gateable_groups(
-            self._offline_blocks, self.pair_gating))
-        newly = [g for g in sorted(eligible)
-                 if not self.register.is_gated(g)
-                 and self.register.is_ready(g, now_s * 1e9)]
+        self.soa.block_offlined(block, now_s)
+        newly = [g for g in self.soa.gate_candidates()
+                 if self.register.is_ready(g, now_s * 1e9)]
         for group in newly:
             self.register.gate(group)
+            self.soa.group_gated(group, now_s)
         if newly:
             self._sync_mode_registers()
             if TRACER.enabled:
@@ -78,6 +95,7 @@ class GreenDIMMPowerControl:
             if self.register.is_gated(group):
                 ready_ns = max(ready_ns,
                                self.register.ungate(group, now_ns))
+                self.soa.group_ungated(group, now_s)
                 ungated_any = True
         if ungated_any:
             self._sync_mode_registers()
@@ -96,13 +114,12 @@ class GreenDIMMPowerControl:
         the groups that had to be un-gated.
         """
         self._offline_blocks.discard(block)
+        self.soa.block_onlined(block, now_s)
         now_ns = now_s * 1e9
-        eligible = set(self.block_map.gateable_groups(
-            self._offline_blocks, self.pair_gating))
-        broken = [g for g in range(self.register.num_groups)
-                  if self.register.is_gated(g) and g not in eligible]
+        broken = self.soa.broken_gated_groups()
         for group in broken:
             self.register.ungate(group, now_ns)
+            self.soa.group_ungated(group, now_s)
         if broken:
             self._sync_mode_registers()
             if TRACER.enabled:

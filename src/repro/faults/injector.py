@@ -13,6 +13,7 @@ timestamp; ``GreenDIMMSystem.step`` advances it every epoch.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -66,6 +67,16 @@ class FaultInjector:
         self._remaining: List[int] = [rule.count for rule in plan.rules]
         self.stats = FaultStats()
         self.events: List[Dict[str, object]] = []
+        # Rule-window calendar for quiescent_until(): windows whose start
+        # lies in the future sit in a min-heap keyed by start time; as
+        # queries advance they migrate into the active list, from which
+        # expired (end passed) and exhausted rules drop out.  Amortized
+        # O(log n) per query instead of rescanning the whole plan.
+        self._window_starts: List[tuple] = sorted(
+            (rule.start_s, index) for index, rule in enumerate(plan.rules))
+        self._future_windows: List[tuple] = list(self._window_starts)
+        self._active_windows: List[int] = []
+        self._window_query_s = -math.inf
 
     @property
     def now_s(self) -> float:
@@ -106,16 +117,32 @@ class FaultInjector:
         consultation happens exactly as in the slow path.  Otherwise the
         bound is the nearest future ``start_s`` (``inf`` when no rule can
         ever fire again); no query strictly before it can match any rule.
+
+        Queries normally advance monotonically (simulation time); one
+        that moves backwards (the injector reused for a fresh run)
+        rebuilds the calendar from the immutable plan, so only that call
+        pays a rescan.
         """
-        horizon = math.inf
-        for index, rule in enumerate(self.plan.rules):
-            if self._remaining[index] == 0:
-                continue
-            if rule.start_s <= now_s < rule.end_s:
-                return now_s
-            if rule.start_s > now_s:
-                horizon = min(horizon, rule.start_s)
-        return horizon
+        if now_s < self._window_query_s:
+            self._future_windows = list(self._window_starts)
+            self._active_windows = []
+        self._window_query_s = now_s
+        rules = self.plan.rules
+        remaining = self._remaining
+        future = self._future_windows
+        while future and future[0][0] <= now_s:
+            _, index = heapq.heappop(future)
+            self._active_windows.append(index)
+        live = [index for index in self._active_windows
+                if remaining[index] != 0 and rules[index].end_s > now_s]
+        self._active_windows = live
+        if live:
+            return now_s
+        # Exhaustion is permanent, so spent rules can be dropped from the
+        # heap for good as they surface.
+        while future and remaining[future[0][1]] == 0:
+            heapq.heappop(future)
+        return future[0][0] if future else math.inf
 
     def exhausted(self) -> bool:
         """True once every non-sticky rule has spent its budget."""

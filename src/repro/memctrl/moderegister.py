@@ -92,10 +92,29 @@ class ModeRegisterFile:
         one, as channels dominate parallelism in practice, and expose
         per-rank command counts for finer accounting.
         """
-        worst = 0.0
-        for rank in range(self.total_ranks):
-            worst = max(worst, self.program_gate_mask(rank, mask))
-        return worst
+        if mask >> self.mask_bits:
+            raise ConfigurationError("mask wider than the register")
+        # Under the lock-step invariant every rank holds the same old
+        # mask, so the changed-slice count can be computed once and
+        # reused until a rank with a different shadow appears.
+        worst = 0
+        last_old = -1
+        cached = 0
+        n_slices = self.mask_bits // MRS_PAYLOAD_BITS
+        for state in self._ranks:
+            old = state.subarray_gate_mask
+            if old != last_old:
+                diff = old ^ mask
+                cached = 0
+                for index in range(n_slices):
+                    if (diff >> (index * MRS_PAYLOAD_BITS)) & 0xFFFF:
+                        cached += 1
+                last_old = old
+            state.subarray_gate_mask = mask
+            state.mrs_commands += cached
+            if cached > worst:
+                worst = cached
+        return worst * TMRD_NS
 
     def consistent(self) -> bool:
         """All ranks hold the same mask (the lock-step invariant)."""

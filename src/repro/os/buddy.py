@@ -43,9 +43,13 @@ class BuddyAllocator:
         self._free_sets: List[Set[int]] = [set() for _ in range(max_order + 1)]
         self._heaps: List[List[int]] = [[] for _ in range(max_order + 1)]
         self._allocated: Dict[int, int] = {}  # pfn -> order
-        self._free_pages = 0
-        for pfn in range(start_pfn, start_pfn + total_pages, block):
-            self._insert(max_order, pfn)
+        # Bulk-seed the max-order free list (pushing ascending pfns one
+        # at a time builds exactly this sorted list, so the state is the
+        # same as repeated _insert calls).
+        pfns = range(start_pfn, start_pfn + total_pages, block)
+        self._free_sets[max_order] = set(pfns)
+        self._heaps[max_order] = list(pfns)
+        self._free_pages = total_pages
 
     # --- internal free-list maintenance -------------------------------------
 
@@ -128,18 +132,76 @@ class BuddyAllocator:
             raise AllocationError("count must be positive")
         grabbed: List[Tuple[int, int]] = []
         remaining = count
+        free_sets = self._free_sets
+        heaps = self._heaps
+        allocated = self._allocated
+        max_order = self.max_order
+        heappop, heappush = heapq.heappop, heapq.heappush
         try:
             while remaining > 0:
-                order = min(self.max_order, remaining.bit_length() - 1)
-                while order >= 0:
-                    try:
-                        pfn = self.alloc_block(order)
-                        break
-                    except AllocationError:
+                # Free-list scan instead of exception-driven fallback:
+                # alloc_block(order) fails exactly when every list at
+                # >= order is empty, in which case the next candidate is
+                # the largest non-empty order below it.
+                order = min(max_order, remaining.bit_length() - 1)
+                source = order
+                while source <= max_order and not free_sets[source]:
+                    source += 1
+                if source > max_order:
+                    order -= 1
+                    while order >= 0 and not free_sets[order]:
                         order -= 1
-                else:
-                    raise AllocationError(
-                        f"out of memory: {remaining} of {count} pages unsatisfied")
+                    if order < 0:
+                        raise AllocationError(
+                            f"out of memory: {remaining} of {count} "
+                            f"pages unsatisfied")
+                    source = order
+                if source == order == max_order:
+                    # Bulk grab: a large request consumes a run of
+                    # max-order blocks, and taking each through the
+                    # full split-scan below is all Python-loop
+                    # overhead.  k pops off the heap (skipping stale
+                    # entries) return exactly the ascending pfns that k
+                    # successive _pop_lowest calls would.
+                    live = free_sets[max_order]
+                    k = min(remaining >> max_order, len(live))
+                    if k >= 8:
+                        heap = heaps[max_order]
+                        batch: List[int] = []
+                        append = batch.append
+                        need = k
+                        while need:
+                            pfn = heappop(heap)
+                            # Remove from the live set immediately — a
+                            # re-freed pfn can have two heap entries, and
+                            # only the first may count.
+                            if pfn in live:
+                                live.remove(pfn)
+                                append(pfn)
+                                need -= 1
+                        self._free_pages -= k << max_order
+                        allocated.update(dict.fromkeys(batch, max_order))
+                        grabbed.extend((pfn, max_order) for pfn in batch)
+                        remaining -= k << max_order
+                        continue
+                # Inlined _pop_lowest / _insert (this loop allocates one
+                # buddy block per extent, so call overhead adds up).
+                heap, live = heaps[source], free_sets[source]
+                while True:
+                    pfn = heappop(heap)
+                    if pfn in live:
+                        break
+                live.remove(pfn)
+                self._free_pages -= 1 << source
+                if len(heap) > 4 * len(live) + 64:
+                    heaps[source] = sorted(live)
+                while source > order:
+                    source -= 1
+                    half = pfn + (1 << source)
+                    free_sets[source].add(half)
+                    heappush(heaps[source], half)
+                    self._free_pages += 1 << source
+                allocated[pfn] = order
                 grabbed.append((pfn, order))
                 remaining -= 1 << order
         except AllocationError:
@@ -157,15 +219,43 @@ class BuddyAllocator:
             raise AllocationError(
                 f"free of pfn {pfn} order {order} does not match allocation "
                 f"({recorded})")
-        while order < self.max_order:
+        free_sets = self._free_sets
+        max_order = self.max_order
+        while order < max_order:
             buddy = pfn ^ (1 << order)
-            if buddy in self._free_sets[order]:
-                self._discard(order, buddy)
-                pfn = min(pfn, buddy)
-                order += 1
-            else:
+            live = free_sets[order]
+            if buddy not in live:
                 break
+            live.remove(buddy)
+            self._free_pages -= 1 << order
+            if buddy < pfn:
+                pfn = buddy
+            order += 1
         self._insert(order, pfn)
+
+    def free_max_order_blocks(self, pfns: List[int]) -> None:
+        """Free many max-order blocks at once.
+
+        Max-order blocks have no buddy to coalesce with, so freeing one
+        is exactly an insert — which makes a batch equivalent to
+        repeated :meth:`free_block` calls in any order, with the
+        per-block heap pushes replaced by one extend + heapify.  (The
+        heap's internal arrangement differs, but pops depend only on its
+        contents.)
+        """
+        allocated = self._allocated
+        order = self.max_order
+        for pfn in pfns:
+            recorded = allocated.pop(pfn, None)
+            if recorded != order:
+                raise AllocationError(
+                    f"free of pfn {pfn} order {order} does not match "
+                    f"allocation ({recorded})")
+        self._free_sets[order].update(pfns)
+        heap = self._heaps[order]
+        heap.extend(pfns)
+        heapq.heapify(heap)
+        self._free_pages += len(pfns) << order
 
     # --- isolation for memory off-lining ---------------------------------------
 
@@ -181,11 +271,29 @@ class BuddyAllocator:
         block = 1 << self.max_order
         if start_pfn % block or count % block:
             raise ConfigurationError("isolation range must be block aligned")
+        # Fully-free range fast path: eager coalescing means a free
+        # aligned range consists of exactly its max-order blocks, so if
+        # every max-order position is live nothing else can be (any
+        # other free block would overlap one).  This is the common case
+        # — the daemon prefers off-lining free blocks — and skips the
+        # per-order scan.
+        top_live = self._free_sets[self.max_order]
+        positions = range(start_pfn, start_pfn + count, block)
+        if top_live.issuperset(positions):
+            top_live.difference_update(positions)
+            self._free_pages -= count
+            return [(pfn, self.max_order) for pfn in positions]
         removed: List[Tuple[int, int]] = []
         for order in range(self.max_order + 1):
-            for pfn in self._free_in_range(order, start_pfn, count):
-                self._discard(order, pfn)
-                removed.append((pfn, order))
+            live = self._free_sets[order]
+            if not live:
+                continue
+            found = self._free_in_range(order, start_pfn, count)
+            if not found:
+                continue
+            live.difference_update(found)
+            self._free_pages -= len(found) << order
+            removed.extend((pfn, order) for pfn in found)
         return removed
 
     def _free_in_range(self, order: int, start_pfn: int, count: int) -> List[int]:
@@ -221,8 +329,12 @@ class BuddyAllocator:
         block = 1 << self.max_order
         if start_pfn % block or count % block:
             raise ConfigurationError("range must be block aligned")
-        for pfn in range(start_pfn, start_pfn + count, block):
-            self._insert(self.max_order, pfn)
+        pfns = range(start_pfn, start_pfn + count, block)
+        self._free_sets[self.max_order].update(pfns)
+        heap = self._heaps[self.max_order]
+        for pfn in pfns:
+            heapq.heappush(heap, pfn)
+        self._free_pages += count
 
     def split_allocated(self, pfn: int, order: int) -> None:
         """Split an allocated block into its two buddy halves in place.

@@ -153,6 +153,15 @@ class MemoryBlockManager:
     def offline_blocks(self) -> List[int]:
         return sorted(self._offline_set)
 
+    def offline_set(self) -> Set[int]:
+        """The offline blocks as an unordered set (live view, don't mutate).
+
+        For callers that only need membership or a ``min``/``max`` —
+        :meth:`offline_blocks` sorts the whole set on every call, which
+        the daemon's refill loop would otherwise pay per iteration.
+        """
+        return self._offline_set
+
     @property
     def offline_count(self) -> int:
         return len(self._offline_set)

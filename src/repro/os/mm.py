@@ -9,6 +9,7 @@ blocks being off-lined, and renders ``/proc/meminfo``-style snapshots.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set, Tuple
 
@@ -16,6 +17,7 @@ from repro.errors import AllocationError, ConfigurationError
 from repro.os.buddy import MAX_ORDER
 from repro.os.page import BlockAccounting, OwnerKind, PageExtent
 from repro.os.zones import Zone, ZoneKind, ZoneLayout
+from repro.soa import BlockStateStore
 from repro.units import DEFAULT_MEMORY_BLOCK_SIZE, PAGE_SIZE
 
 
@@ -89,14 +91,35 @@ class PhysicalMemoryManager:
         self.zones: List[Zone] = ZoneLayout(
             self.total_pages, movable_fraction,
             alignment_pages=self.block_pages).build()
+        #: (start_pfn, end_pfn, zone) spans for the pfn -> zone lookup,
+        #: avoiding per-call property/method dispatch on the free path.
+        self._zone_spans: List[Tuple[int, int, Zone]] = [
+            (z.start_pfn, z.end_pfn, z) for z in self.zones]
         self._extents: Dict[int, PageExtent] = {}
         self._owners: Dict[str, Set[int]] = {}
+        #: Per-owner max-heap of extent pfns (negated), maintained beside
+        #: ``_owners`` with lazy deletion: every registration pushes, and
+        #: :meth:`free_pages_of` pops stale entries as it meets them.
+        #: Replaces the full ``sorted(owner_set, reverse=True)`` rebuild
+        #: each shrink performed — the visit order (descending live
+        #: pfns) is identical.
+        self._owner_maxheaps: Dict[str, List[int]] = {}
         #: Incremental per-owner resident-page totals; kept in lock-step
         #: with ``_owners`` so ``owner_pages`` is O(1) instead of an
         #: O(extents) scan on the per-epoch resize path.
         self._owner_pages: Dict[str, int] = {}
+        #: Recycling pool of freed extents, keyed by pfn.  PageExtent is
+        #: immutable and identity-free (no __eq__/__hash__ overrides are
+        #: relied on), so an allocation whose (pfn, order, owner, kind,
+        #: mergeable) matches a previously freed extent can reuse the
+        #: object instead of constructing a new one — workloads that
+        #: oscillate re-acquire the same frames constantly.
+        self._extent_pool: Dict[int, PageExtent] = {}
         self._blocks: List[BlockAccounting] = [
             BlockAccounting() for _ in range(self.num_blocks)]
+        #: Write-back numpy mirror of the per-block counters; the extent
+        #: hot path only marks blocks dirty, scans call ``soa_view()``.
+        self.soa = BlockStateStore(self.num_blocks)
         self._offlined_pages = 0
         self._isolated_blocks: Set[int] = set()
 
@@ -146,25 +169,101 @@ class PhysicalMemoryManager:
             raise AllocationError(
                 f"cannot allocate {n_pages} pages for {owner_id!r}: "
                 f"{remaining} short")
+        # Inlined bulk registration: identical bookkeeping to
+        # :meth:`_register`, restructured so the index maintenance runs
+        # as C-level bulk operations (allocations routinely span
+        # thousands of extents).
+        pool = self._extent_pool
+        pool_get = pool.get
         extents = []
+        append = extents.append
         for _zone, blocks in plan:
             for pfn, order in blocks:
-                extent = PageExtent(pfn=pfn, order=order, owner_id=owner_id,
-                                    kind=kind, mergeable=mergeable)
-                self._register(extent)
-                extents.append(extent)
+                cached = pool_get(pfn)
+                if (cached is not None and cached.order == order
+                        and cached.owner_id == owner_id
+                        and cached.kind is kind
+                        and cached.mergeable == mergeable
+                        and not cached.ksm_shared):
+                    append(cached)
+                else:
+                    append(PageExtent(pfn, order, owner_id, kind, mergeable))
+        pfns = [extent.pfn for extent in extents]
+        self._extents.update(zip(pfns, extents))
+        owner_set = self._owners.setdefault(owner_id, set())
+        owner_set.update(pfns)
+        owner_heap = self._owner_maxheaps.setdefault(owner_id, [])
+        owner_heap.extend(map(int.__neg__, pfns))
+        # One heapify instead of a push per extent: the heap's contents
+        # (which alone determine its pop sequence) are the same either way.
+        heapq.heapify(owner_heap)
+        block_list = self._blocks
+        block_pages = self.block_pages
+        dirty = self.soa._dirty
+        # Extents come out of the buddy allocator in runs that stay
+        # within one memory block, so a last-block cache spares the
+        # accounting lookup on most iterations (it is only a cache —
+        # any extent order is still correct).
+        cur_block = -1
+        acct = None
+        acct_add = None
+        used_run = 0
+        if kind is OwnerKind.USER:
+            for extent in extents:
+                pfn = extent.pfn
+                block = pfn // block_pages
+                if block != cur_block:
+                    if acct is not None:
+                        acct.used_pages += used_run
+                    cur_block = block
+                    acct = block_list[block]
+                    acct_add = acct.extents.add
+                    dirty.add(block)
+                    used_run = 0
+                used_run += extent.pages
+                acct_add(pfn)
+            if acct is not None:
+                acct.used_pages += used_run
+        else:
+            for extent in extents:
+                pfn = extent.pfn
+                pages = extent.pages
+                block = pfn // block_pages
+                if block != cur_block:
+                    if acct is not None:
+                        acct.used_pages += used_run
+                        acct.unmovable_pages += used_run
+                    cur_block = block
+                    acct = block_list[block]
+                    acct_add = acct.extents.add
+                    dirty.add(block)
+                    used_run = 0
+                used_run += pages
+                acct_add(pfn)
+            if acct is not None:
+                acct.used_pages += used_run
+                acct.unmovable_pages += used_run
+        # Every zone contributed exactly its ``take``, so the extent
+        # pages sum to n_pages by construction.
+        self._owner_pages[owner_id] = (
+            self._owner_pages.get(owner_id, 0) + n_pages)
         return extents
 
     def _register(self, extent: PageExtent) -> None:
         self._extents[extent.pfn] = extent
         self._owners.setdefault(extent.owner_id, set()).add(extent.pfn)
+        heapq.heappush(
+            self._owner_maxheaps.setdefault(extent.owner_id, []),
+            -extent.pfn)
         self._owner_pages[extent.owner_id] = (
             self._owner_pages.get(extent.owner_id, 0) + extent.pages)
-        acct = self._blocks[extent.pfn // self.block_pages]
+        block = extent.pfn // self.block_pages
+        acct = self._blocks[block]
         acct.used_pages += extent.pages
         acct.extents.add(extent.pfn)
         if not extent.movable:
             acct.unmovable_pages += extent.pages
+        self.soa.mark_dirty(block)
 
     def _unregister(self, extent: PageExtent) -> None:
         del self._extents[extent.pfn]
@@ -176,15 +275,18 @@ class PhysicalMemoryManager:
         else:
             del self._owners[extent.owner_id]
             del self._owner_pages[extent.owner_id]
-        acct = self._blocks[extent.pfn // self.block_pages]
+            self._owner_maxheaps.pop(extent.owner_id, None)
+        block = extent.pfn // self.block_pages
+        acct = self._blocks[block]
         acct.used_pages -= extent.pages
         acct.extents.remove(extent.pfn)
         if not extent.movable:
             acct.unmovable_pages -= extent.pages
+        self.soa.mark_dirty(block)
 
     def _zone_of(self, pfn: int) -> Zone:
-        for zone in self.zones:
-            if zone.contains(pfn):
+        for start, end, zone in self._zone_spans:
+            if start <= pfn < end:
                 return zone
         raise AllocationError(f"pfn {pfn} outside all zones")
 
@@ -208,16 +310,108 @@ class PhysicalMemoryManager:
         """
         if n_pages <= 0:
             return 0
-        pfns = sorted(self._owners.get(owner_id, ()), reverse=True)
+        owner_set = self._owners.get(owner_id)
+        if not owner_set:
+            return 0
+        # Highest-address-first order comes from the owner's lazy
+        # max-heap: popping it yields exactly the descending sequence
+        # ``sorted(owner_set, reverse=True)`` once stale entries (pfns no
+        # longer owned) are skipped, without re-sorting the whole owner
+        # set on every shrink.
+        heap = self._owner_maxheaps[owner_id]
+        if len(heap) > 4 * len(owner_set) + 64:
+            # A sorted list of negated pfns is a valid min-heap.
+            heap[:] = sorted(-pfn for pfn in owner_set)
+        # Inlined bulk unregister (mirrors :meth:`_unregister`); the
+        # owner-pages total is settled once after the whole-extent loop.
+        extent_map = self._extents
+        block_list = self._blocks
+        block_pages = self.block_pages
+        dirty = self.soa._dirty
+        pool = self._extent_pool
+        heappop = heapq.heappop
+        span_start = span_end = -1
+        span_free = None
+        span_alloc = None
+        span_mo = -1
+        # Max-order extents never coalesce, so their frees commute with
+        # everything else in the span and can be batched into one
+        # ``free_max_order_blocks`` call per zone span.
+        mo_batch: List[int] = []
         freed = 0
-        for pfn in pfns:
-            if freed >= n_pages:
+        partial = None
+        # Descending pfns visit each memory block in one contiguous run,
+        # so a last-block cache spares the accounting lookup on most
+        # iterations, with the page delta flushed per run (pure cache —
+        # correct in any visit order).
+        cur_block = -1
+        acct = None
+        acct_remove = None
+        used_run = 0
+        unmovable_run = 0
+        while heap and freed < n_pages:
+            # Pop immediately: a stale entry is discarded either way, and
+            # the partial-case break below may consume its entry too (the
+            # split in _free_partial re-registers the kept piece, which
+            # re-pushes its pfn).
+            pfn = -heappop(heap)
+            if pfn not in owner_set:
+                continue
+            extent = extent_map[pfn]
+            pages = extent.pages
+            if freed + pages > n_pages:
+                partial = extent
                 break
-            extent = self._extents[pfn]
-            if freed + extent.pages <= n_pages:
-                freed += self.free_extent(pfn)
+            del extent_map[pfn]
+            pool[pfn] = extent
+            owner_set.remove(pfn)
+            block = pfn // block_pages
+            if block != cur_block:
+                if acct is not None:
+                    acct.used_pages -= used_run
+                    acct.unmovable_pages -= unmovable_run
+                cur_block = block
+                acct = block_list[block]
+                acct_remove = acct.extents.remove
+                dirty.add(block)
+                used_run = 0
+                unmovable_run = 0
+            used_run += pages
+            acct_remove(pfn)
+            if not extent.movable:
+                unmovable_run += pages
+            if not span_start <= pfn < span_end:
+                if mo_batch:
+                    span_alloc.free_max_order_blocks(mo_batch)
+                    mo_batch = []
+                for start, end, zone in self._zone_spans:
+                    if start <= pfn < end:
+                        span_start, span_end = start, end
+                        span_alloc = zone.allocator
+                        span_mo = span_alloc.max_order
+                        span_free = span_alloc.free_block
+                        break
+                else:
+                    raise AllocationError(f"pfn {pfn} outside all zones")
+            if extent.order == span_mo:
+                mo_batch.append(pfn)
             else:
-                freed += self._free_partial(extent, n_pages - freed)
+                span_free(pfn, extent.order)
+            freed += pages
+        if acct is not None:
+            acct.used_pages -= used_run
+            acct.unmovable_pages -= unmovable_run
+        if mo_batch:
+            span_alloc.free_max_order_blocks(mo_batch)
+        if freed:
+            if owner_set:
+                self._owner_pages[owner_id] -= freed
+            else:
+                del self._owners[owner_id]
+                del self._owner_pages[owner_id]
+                self._owner_maxheaps.pop(owner_id, None)
+        if partial is not None:
+            freed += self._free_partial(partial, n_pages - freed)
         return freed
 
     def _free_partial(self, extent: PageExtent, n_pages: int) -> int:
@@ -227,8 +421,6 @@ class PhysicalMemoryManager:
         the invariant ``remaining < current.pages``, so it always
         terminates with a kept low remainder registered to the owner.
         """
-        from dataclasses import replace
-
         zone = self._zone_of(extent.pfn)
         self._unregister(extent)
         current = extent
@@ -237,9 +429,12 @@ class PhysicalMemoryManager:
             zone.allocator.split_allocated(current.pfn, current.order)
             half_order = current.order - 1
             half_pages = 1 << half_order
-            low = replace(current, order=half_order)
-            high = replace(current, pfn=current.pfn + half_pages,
-                           order=half_order)
+            low = PageExtent(current.pfn, half_order, current.owner_id,
+                             current.kind, current.mergeable,
+                             current.ksm_shared)
+            high = PageExtent(current.pfn + half_pages, half_order,
+                              current.owner_id, current.kind,
+                              current.mergeable, current.ksm_shared)
             if remaining >= half_pages:
                 zone.allocator.free_block(high.pfn, half_order)
                 remaining -= half_pages
@@ -279,6 +474,10 @@ class PhysicalMemoryManager:
 
     def extents_of(self, owner_id: str) -> List[PageExtent]:
         return [self._extents[p] for p in sorted(self._owners.get(owner_id, ()))]
+
+    def soa_view(self) -> BlockStateStore:
+        """The per-block SoA mirror, with dirty counters flushed."""
+        return self.soa.sync(self._blocks)
 
     def meminfo(self) -> Meminfo:
         return Meminfo(total_pages=self.online_pages,
@@ -377,9 +576,11 @@ class PhysicalMemoryManager:
             raise AllocationError(f"block {index} still has used pages")
         self._isolated_blocks.remove(index)
         self._offlined_pages += self.block_pages
+        self.soa.mark_offline(index)
 
     def complete_online(self, index: int) -> None:
         """Give an off-lined block's frames back to its zone's allocator."""
         start, count = self.block_range(index)
         self._zone_of(start).allocator.add_range(start, count)
         self._offlined_pages -= self.block_pages
+        self.soa.mark_online(index)

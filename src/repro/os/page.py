@@ -11,7 +11,7 @@ stays exact.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 
 class OwnerKind(enum.Enum):
@@ -25,7 +25,6 @@ class OwnerKind(enum.Enum):
     PINNED = "pinned"
 
 
-@dataclass(frozen=True)
 class PageExtent:
     """A contiguous run of 2**order frames with uniform ownership.
 
@@ -33,31 +32,42 @@ class PageExtent:
     ``madvise(MADV_MERGEABLE)``; ``ksm_shared`` marks extents whose content
     is currently deduplicated into a stable-tree page (freed capacity is
     accounted by the KSM substrate, not here).
+
+    Treated as immutable: relocation goes through :meth:`moved_to`.  A
+    ``__slots__`` class (not a frozen dataclass) because extents are the
+    single most-constructed object on the allocation hot path, and the
+    derived fields (``pages``, ``movable``) are read several times per
+    extent by the accounting code.
     """
 
-    pfn: int
-    order: int
-    owner_id: str
-    kind: OwnerKind = OwnerKind.USER
-    mergeable: bool = False
-    ksm_shared: bool = False
+    __slots__ = ("pfn", "order", "owner_id", "kind", "mergeable",
+                 "ksm_shared", "pages", "end_pfn", "movable")
 
-    @property
-    def pages(self) -> int:
-        return 1 << self.order
-
-    @property
-    def end_pfn(self) -> int:
-        return self.pfn + self.pages
-
-    @property
-    def movable(self) -> bool:
-        """Whether page migration can relocate this extent."""
-        return self.kind is OwnerKind.USER
+    def __init__(self, pfn: int, order: int, owner_id: str,
+                 kind: OwnerKind = OwnerKind.USER,
+                 mergeable: bool = False, ksm_shared: bool = False):
+        self.pfn = pfn
+        self.order = order
+        self.owner_id = owner_id
+        self.kind = kind
+        self.mergeable = mergeable
+        self.ksm_shared = ksm_shared
+        pages = 1 << order
+        #: Frame count (2**order).
+        self.pages = pages
+        self.end_pfn = pfn + pages
+        #: Whether page migration can relocate this extent.
+        self.movable = kind is OwnerKind.USER
 
     def moved_to(self, new_pfn: int) -> "PageExtent":
         """The same extent relocated to *new_pfn* (after migration)."""
-        return replace(self, pfn=new_pfn)
+        return PageExtent(new_pfn, self.order, self.owner_id, self.kind,
+                          self.mergeable, self.ksm_shared)
+
+    def __repr__(self) -> str:
+        return (f"PageExtent(pfn={self.pfn}, order={self.order}, "
+                f"owner_id={self.owner_id!r}, kind={self.kind}, "
+                f"mergeable={self.mergeable}, ksm_shared={self.ksm_shared})")
 
 
 @dataclass

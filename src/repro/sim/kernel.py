@@ -42,6 +42,8 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
 from repro import perfcounters
 from repro.core.daemon import DaemonStats
 from repro.errors import ConfigurationError
@@ -51,6 +53,7 @@ from repro.obs.residency import ResidencyStats
 from repro.obs.tracer import GLOBAL_TRACER as TRACER
 from repro.os.hotplug import HotplugStats
 from repro.power.model import PowerCacheStats
+from repro.sim.calendar import EventCalendar
 from repro.sim.fastforward import FastForwardStats, SimClock, quiescent_horizon
 from repro.units import PAGE_SIZE, PEAK_DRAM_BANDWIDTH_BYTES_PER_S
 from repro.workloads.azure import AzureTrace
@@ -176,6 +179,13 @@ class ProfileSource:
         self._bandwidth = (self.profile.bandwidth_demand_bytes_per_s
                            * self.n_copies)
         self._row_miss = 1.0 - self.profile.row_hit_rate
+        # All flat-run boundaries are known up front; consuming them from
+        # a calendar replaces the per-epoch footprint rescan with an
+        # amortized O(log n) pop while returning the identical floats
+        # (next run end strictly after t == constant_until(t) whenever
+        # the steadiness/ramp vetoes below don't fire).
+        self._flat_calendar = EventCalendar(
+            self.profile.footprint.flat_run_ends())
 
     def _target_pages(self, t: float) -> int:
         return self.profile.footprint.at(t) * self.n_copies // PAGE_SIZE
@@ -195,10 +205,9 @@ class ProfileSource:
     def horizon(self, t: float) -> float:
         if not self.sim._owner_steady(self.owner, self._target_pages(t)):
             return t
-        flat_until = self.profile.footprint.constant_until(t)
-        if flat_until <= t:
+        if self.profile.footprint.ramping_at(t):
             return t
-        return flat_until
+        return self._flat_calendar.next_after(t)
 
 
 @dataclass
@@ -252,6 +261,9 @@ class TraceSource:
         return self.running * self.mean_vm_bandwidth_bytes_per_s, 0.5
 
     def horizon(self, t: float) -> float:
+        # The sorted event list plus apply()'s cursor already *is* an
+        # event calendar: the next timestamp is an O(1) peek.  A heap
+        # would only re-derive what the cursor tracks for free.
         if self.cursor < len(self.events):
             next_event_s = self.events[self.cursor].time_s
             return t if next_event_s <= t else next_event_s
@@ -277,6 +289,15 @@ class MixSource:
                               * p.bandwidth_demand_bytes_per_s
                               for p in self.profiles)
                           / max(self._bandwidth, 1.0))
+        # One merged calendar of every owner's flat-run ends, pre-filtered
+        # to runs ending before that owner's duration (a flat run reaching
+        # duration_s keeps the clamped value constant beyond it, so it
+        # never bounds the horizon).  min over owners of "next run end
+        # after t" equals "next event after t" in the merged heap, so the
+        # calendar pop returns the same float the per-owner scan did.
+        self._flat_calendar = EventCalendar(
+            end for p in self.profiles
+            for end in p.footprint.flat_run_ends(p.duration_s))
 
     def prepare(self) -> None:
         for owner, profile in self.owners.items():
@@ -293,21 +314,19 @@ class MixSource:
         return self._bandwidth, self._row_miss
 
     def horizon(self, t: float) -> float:
-        horizon = math.inf
+        # The vetoes stay per-owner (steadiness and ramp state are
+        # dynamic); every veto path returns exactly t, so check order
+        # cannot change the value.  The surviving bound comes from the
+        # precomputed merged calendar.
         for owner, profile in self.owners.items():
             target = profile.footprint.at(min(t, profile.duration_s))
             if not self.sim._owner_steady(owner, target // PAGE_SIZE):
                 return t
             if t >= profile.duration_s:
                 continue  # clamped at its final footprint forever
-            flat_until = profile.footprint.constant_until(t)
-            if flat_until <= t:
+            if profile.footprint.ramping_at(t):
                 return t
-            if flat_until < profile.duration_s:
-                horizon = min(horizon, flat_until)
-            # A flat run reaching duration_s keeps the clamped value
-            # constant beyond it, so it does not bound the horizon.
-        return horizon
+        return self._flat_calendar.next_after(t)
 
 
 # --- the driver --------------------------------------------------------------
@@ -357,17 +376,27 @@ class EpochKernel:
     def _sample(self, now_s: float, bandwidth: float,
                 row_miss_rate: float) -> EpochSample:
         system = self.system
-        info = system.mm.meminfo()
-        power = system.dram_power(
-            bandwidth_bytes_per_s=bandwidth,
+        mm = system.mm
+        # Direct reads instead of mm.meminfo(): the snapshot object's
+        # used_pages/free_pages derive from the same zone sums, but
+        # meminfo() evaluates the free-page sum twice and builds a
+        # frozen dataclass per epoch.
+        free_pages = mm.free_pages
+        used_pages = mm.online_pages - free_pages
+        # One dpd_fraction() read feeds both the power model's cache key
+        # (what system.dram_power would pass) and the sample field.
+        dpd = system.daemon.dpd_fraction()
+        power = system.power_model.busy_power_cached(
+            bandwidth,
             active_residency=min(1.0, bandwidth
                                  / PEAK_DRAM_BANDWIDTH_BYTES_PER_S),
-            row_miss_rate=row_miss_rate)
+            row_miss_rate=row_miss_rate,
+            dpd_fraction=dpd)
         return EpochSample(time_s=now_s,
-                           used_pages=info.used_pages,
-                           free_pages=info.free_pages,
+                           used_pages=used_pages,
+                           free_pages=free_pages,
                            offline_blocks=system.daemon.offline_block_count,
-                           dpd_fraction=system.daemon.dpd_fraction(),
+                           dpd_fraction=dpd,
                            dram_power_w=power.total_w)
 
     def _baseline_power_w(self, bandwidth: float,
@@ -424,15 +453,21 @@ class EpochKernel:
         stats.windows += 1
         baseline_w = self._baseline_power_w(bandwidth, row_miss_rate)
         active_res = min(1.0, bandwidth / PEAK_DRAM_BANDWIDTH_BYTES_PER_S)
+        # Bound unconditionally: the churn-path exit event below reads it
+        # whenever the tracer is enabled at *exit*, which need not match
+        # its state at entry (tracing can be toggled mid-run).
+        skipped_before = stats.epochs_fast_forwarded
         if TRACER.enabled:
             TRACER.event("ff.enter", t_s=clock.now_s, end_s=end_s,
                          churn=churn)
-            skipped_before = stats.epochs_fast_forwarded
         if not churn:
             # No per-epoch side effects at all: replay the remaining float
-            # arithmetic (monitor timer, clock, energy sums) as straight
-            # local-variable ops — the op sequence is identical, only the
-            # interpreter overhead of going through the objects is gone.
+            # arithmetic (monitor timer, clock, energy sums) as batched
+            # np.add.accumulate chains.  ufunc.accumulate applies the add
+            # strictly left to right in binary64, i.e. the *same* op
+            # sequence as the scalar `x += step` loop, so every epoch
+            # timestamp, both energy sums, the carried monitor timer, and
+            # the final clock value are bit-identical to the stepped path.
             system.advance_time(clock.now_s)
             template = self._sample(clock.now_s, bandwidth, row_miss_rate)
             used = template.used_pages
@@ -440,32 +475,97 @@ class EpochKernel:
             offline = template.offline_blocks
             dpd = template.dpd_fraction
             power_w = template.dram_power_w
-            append = samples.append
             now = clock.now_s
-            since = daemon._since_monitor_s
             period = daemon.config.monitor_period_s
-            skipped = 0
-            while now < end_s:
-                since += epoch_s
-                if since >= period:
-                    since = 0.0
-                append(EpochSample(time_s=now, used_pages=used,
-                                   free_pages=free, offline_blocks=offline,
-                                   dpd_fraction=dpd, dram_power_w=power_w))
-                dram_energy += power_w * epoch_s
-                baseline_energy += baseline_w * epoch_s
-                skipped += 1
-                now += epoch_s
-            daemon._since_monitor_s = since
-            clock.now_s = now
-            stats.epochs_fast_forwarded += skipped
+            if (end_s - now) / epoch_s < 48.0:
+                # Short window: the scalar chain beats the numpy batch's
+                # fixed setup cost.  Same float ops either way, so the
+                # crossover is purely a speed choice.
+                append = samples.append
+                since = daemon._since_monitor_s
+                skipped = 0
+                while now < end_s:
+                    since += epoch_s
+                    if since >= period:
+                        since = 0.0
+                    append(EpochSample(time_s=now, used_pages=used,
+                                       free_pages=free,
+                                       offline_blocks=offline,
+                                       dpd_fraction=dpd,
+                                       dram_power_w=power_w))
+                    dram_energy += power_w * epoch_s
+                    baseline_energy += baseline_w * epoch_s
+                    skipped += 1
+                    now += epoch_s
+                daemon._since_monitor_s = since
+                clock.now_s = now
+                stats.epochs_fast_forwarded += skipped
+                residency.add_span(skipped * epoch_s, active_res, dpd)
+                if TRACER.enabled:
+                    TRACER.event("ff.exit", t_s=now, epochs=skipped)
+                return dram_energy, baseline_energy
+            # Epoch timestamps: the `now += epoch_s` chain, one extra
+            # element so the post-window clock value comes from the same
+            # chain.  The pad loop only grows on pathological rounding.
+            pad = max(int((end_s - now) / epoch_s) + 2, 4)
+            while True:
+                steps = np.empty(pad + 1, dtype=np.float64)
+                steps[0] = now
+                steps[1:] = epoch_s
+                times = np.add.accumulate(steps)
+                if times[-1] >= end_s:
+                    break
+                pad *= 2
+            n = int(np.searchsorted(times, end_s, side="left"))
+            make = EpochSample._make
+            samples += [make((t, used, free, offline, dpd, power_w))
+                        for t in times[:n].tolist()]
+            if n:
+                de = power_w * epoch_s
+                be = baseline_w * epoch_s
+                acc = np.empty(n + 1, dtype=np.float64)
+                acc[0] = dram_energy
+                acc[1:] = de
+                dram_energy = float(np.add.accumulate(acc)[-1])
+                acc[0] = baseline_energy
+                acc[1:] = be
+                baseline_energy = float(np.add.accumulate(acc)[-1])
+                # Monitor timer: `since += epoch_s; if since >= period:
+                # since = 0.0` is periodic, so only two add chains are
+                # needed — phase A from the carried-in value to the first
+                # reset, phase B the steady cycle from 0.0 (0.0 + epoch_s
+                # == epoch_s exactly, so the chain starts bit-equal) —
+                # and the final value falls out of the cycle remainder.
+                acc[0] = daemon._since_monitor_s
+                phase_a = np.add.accumulate(acc)
+                hits = np.nonzero(phase_a[1:] >= period)[0]
+                if hits.size == 0:
+                    since = float(phase_a[n])
+                else:
+                    rest = n - (int(hits[0]) + 1)  # epochs after 1st reset
+                    if rest == 0:
+                        since = 0.0
+                    else:
+                        phase_b = np.add.accumulate(
+                            np.full(rest, epoch_s, dtype=np.float64))
+                        hits_b = np.nonzero(phase_b >= period)[0]
+                        if hits_b.size == 0:
+                            since = float(phase_b[rest - 1])
+                        else:
+                            cycle = int(hits_b[0]) + 1
+                            part = rest % cycle
+                            since = 0.0 if part == 0 \
+                                else float(phase_b[part - 1])
+                daemon._since_monitor_s = since
+            clock.now_s = float(times[n])
+            stats.epochs_fast_forwarded += n
             # One closed-form span for the whole window: the operating
             # point is constant, so this equals the per-epoch sum up to
             # float rounding (which is why the residency invariant is
             # pinned with approx, never bitwise).
-            residency.add_span(skipped * epoch_s, active_res, dpd)
+            residency.add_span(n * epoch_s, active_res, dpd)
             if TRACER.enabled:
-                TRACER.event("ff.exit", t_s=now, epochs=skipped)
+                TRACER.event("ff.exit", t_s=clock.now_s, epochs=n)
             return dram_energy, baseline_energy
         template = None
         while clock.now_s < end_s:

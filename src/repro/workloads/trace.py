@@ -25,9 +25,19 @@ class FootprintTrace:
     def __post_init__(self) -> None:
         if not self.points:
             raise ConfigurationError("trace needs at least one point")
-        times = [t for t, _ in self.points]
-        if times != sorted(times):
+        times = tuple(t for t, _ in self.points)
+        if list(times) != sorted(times):
             raise ConfigurationError("trace points must be time sorted")
+        # The trace is immutable, so the query helpers' search arrays are
+        # computed once here instead of being rebuilt on every at() /
+        # constant_until() call (the simulator queries each footprint
+        # twice per stepped epoch).  ``_run_ends`` holds the last point
+        # of every flat run that is followed by a value change — the
+        # only finite values constant_until() can return.
+        object.__setattr__(self, "_times", times)
+        object.__setattr__(self, "_run_ends", tuple(
+            times[k] for k in range(len(times) - 1)
+            if self.points[k][1] != self.points[k + 1][1]))
 
     @classmethod
     def of(cls, points: Sequence[Tuple[float, float]]) -> "FootprintTrace":
@@ -43,7 +53,7 @@ class FootprintTrace:
 
     def at(self, time_s: float) -> int:
         """Footprint in bytes at *time_s* (clamped, interpolated)."""
-        times = [t for t, _ in self.points]
+        times: Tuple[float, ...] = self._times  # type: ignore[attr-defined]
         if time_s <= times[0]:
             return self.points[0][1]
         if time_s >= times[-1]:
@@ -63,18 +73,42 @@ class FootprintTrace:
         ``at(time_s)``; the bound itself also satisfies the equality when
         finite (it is the last point of the flat run).
         """
-        times = [t for t, _ in self.points]
-        n = len(self.points)
+        times: Tuple[float, ...] = self._times  # type: ignore[attr-defined]
         if time_s >= times[-1]:
             return math.inf
         i = bisect.bisect_right(times, time_s)
         if i > 0 and self.points[i - 1][1] != self.points[i][1]:
             return time_s  # inside a ramp: no flat run to skip
-        while i + 1 < n and self.points[i][1] == self.points[i + 1][1]:
-            i += 1
-        if i == n - 1:
+        # Not ramping, so the answer is the end of the flat run holding
+        # time_s: the first run end strictly after it.  Every run end at
+        # index < i is <= time_s and every one at index >= i is > time_s
+        # (bisect_right), so this bisect returns exactly the point the
+        # old linear walk from i stopped at.
+        run_ends: Tuple[float, ...] = self._run_ends  # type: ignore[attr-defined]
+        j = bisect.bisect_right(run_ends, time_s)
+        if j == len(run_ends):
             return math.inf
-        return times[i]
+        return run_ends[j]
+
+    def ramping_at(self, time_s: float) -> bool:
+        """True when :meth:`constant_until` would veto (return *time_s*)."""
+        times: Tuple[float, ...] = self._times  # type: ignore[attr-defined]
+        if time_s >= times[-1]:
+            return False
+        i = bisect.bisect_right(times, time_s)
+        return i > 0 and self.points[i - 1][1] != self.points[i][1]
+
+    def flat_run_ends(self, before_s: float = math.inf) -> Tuple[float, ...]:
+        """Every finite value :meth:`constant_until` can return (< *before_s*).
+
+        These are the trace's quiescence-breaking timestamps: between two
+        consecutive run ends the footprint either ramps (vetoed by
+        :meth:`ramping_at`) or stays constant.  Sources feed them into an
+        :class:`~repro.sim.calendar.EventCalendar` so the per-epoch
+        horizon query is one heap peek instead of a trace scan.
+        """
+        run_ends: Tuple[float, ...] = self._run_ends  # type: ignore[attr-defined]
+        return tuple(t for t in run_ends if t < before_s)
 
     def scaled(self, factor: float) -> "FootprintTrace":
         return FootprintTrace(tuple((t, int(b * factor)) for t, b in self.points))

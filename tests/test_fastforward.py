@@ -75,6 +75,39 @@ class TestWorkloadEquivalence:
         assert_workload_identical(slow, fast)
         assert fast[1].ff_stats.epochs_fast_forwarded > 0
 
+    def test_tracer_enabled_mid_window_exits_cleanly(self):
+        # Regression: the churn-path window exit reads ``skipped_before``
+        # whenever the tracer is enabled at *exit* — if the binding only
+        # happened under a tracer-enabled *entry*, toggling tracing on
+        # mid-run (here: from inside the first window's churn hook)
+        # raised NameError.
+        from repro.obs.tracer import GLOBAL_TRACER
+
+        sim = ServerSimulator(small_system(), seed=5, fast_forward=True)
+        original = sim._pinned_churn
+
+        def churn_then_enable(t, epoch_s):
+            result = original(t, epoch_s)
+            if sim.ff_stats.windows > 0 and not GLOBAL_TRACER.enabled:
+                GLOBAL_TRACER.enable()
+            return result
+
+        sim._pinned_churn = churn_then_enable
+        try:
+            result = sim.run_workload(profile_by_name("429.mcf"),
+                                      epoch_s=1.0, pinned_churn=True)
+            assert GLOBAL_TRACER.enabled  # the toggle actually fired
+            exits = [e for e in GLOBAL_TRACER.snapshot()["events"]
+                     if e["kind"] == "ff.exit"]
+        finally:
+            GLOBAL_TRACER.disable()
+            GLOBAL_TRACER.drain()
+        assert result.samples
+        assert sim.ff_stats.windows > 0
+        # The first window entered untraced, so its exit event (emitted
+        # traced) proves the mid-window toggle path survived.
+        assert exits
+
     def test_energy_convention_scales_with_overhead(self):
         (result, _sim), _ = workload_pair(churn=False)
         raw = sum(s.dram_power_w for s in result.samples) * 1.0

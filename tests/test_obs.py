@@ -171,6 +171,24 @@ class TestDrainAcrossWorkers:
         assert drain_trace() == {}
 
 
+class TestUtilizationEdgeCases:
+    def test_zero_elapsed_suite_reports_zero_utilization(self):
+        # A sub-millisecond suite on a fast machine can measure
+        # elapsed_s == 0; the busy ratio must degrade to 0.0, not
+        # raise ZeroDivisionError.
+        metrics = MetricsBus()
+        metrics.job_end("exp", wall_s=0.5, cached=False)
+        assert metrics.utilization(4, 0.0) == 0.0
+        assert metrics.utilization_raw(4, 0.0) == 0.0
+        summary = metrics.suite_end(4, 0.0)
+        assert summary["utilization"] == 0.0
+
+    def test_zero_workers_reports_zero_utilization(self):
+        metrics = MetricsBus()
+        metrics.job_end("exp", wall_s=0.5, cached=False)
+        assert metrics.utilization_raw(0, 10.0) == 0.0
+
+
 class TestReport:
     @pytest.fixture(scope="class")
     def fleet_metrics(self, tmp_path_factory):
@@ -289,6 +307,55 @@ class TestBenchGate:
         regressions, _ = compare_perf_core(fresh, base)
         assert any("missing" in r for r in regressions)
         assert any("identical" in r for r in regressions)
+
+    def test_zero_fast_wall_reports_infinite_speedup(self, monkeypatch):
+        # On a fast machine in quick mode a sub-resolution wall used to
+        # serialize "speedup": 0.0 — which trend tooling reads as a
+        # catastrophic regression rather than an unmeasurably fast run.
+        import math
+
+        import repro.bench as bench
+
+        class _Stats:
+            epochs_total = 1
+            epochs_fast_forwarded = 1
+            epochs_stepped = 0
+            windows = 1
+
+        class _Cache:
+            hit_rate = 1.0
+
+        class _System:
+            power_cache_stats = _Cache()
+
+        class _Sim:
+            ff_stats = _Stats()
+            system = _System()
+
+        monkeypatch.setattr(bench.time, "perf_counter", lambda: 0.0)
+        row = bench._time_scenario(lambda fast, full: (_Sim(), "same"),
+                                   full=False)
+        assert row["speedup"] == math.inf
+        # ...and the JSON writer turns it into null, never "Infinity".
+        assert bench._json_safe(row)["speedup"] is None
+        assert bench._json_safe({"a": [math.nan, 1.0]}) == {"a": [None, 1.0]}
+
+    def test_rows_carry_basis_and_render_flags_mixing(self):
+        from repro.bench import compare_perf_core, render_compare
+
+        calibrated = self._doc(1.0, {"mix": (0.5, 2.0)})
+        uncalibrated = self._doc(0.0, {"mix": (0.5, 2.0)})
+        _, rows_cal = compare_perf_core(calibrated, calibrated)
+        assert all(r["basis"] == "calibrated" for r in rows_cal)
+        _, rows_raw = compare_perf_core(calibrated, uncalibrated)
+        assert all(r["basis"] == "raw" for r in rows_raw)
+        assert "calibrated ratios" in render_compare([], rows_cal)
+        assert "raw wall-time ratios" in render_compare([], rows_raw)
+        # When rows genuinely mix bases the render says so per row
+        # instead of silently labelling everything with one basis.
+        mixed = render_compare([], rows_cal + rows_raw)
+        assert "mixed-basis ratios" in mixed
+        assert "(calibrated)" in mixed and "(raw)" in mixed
 
     def test_cli_gate_exit_codes(self, tmp_path, capsys, monkeypatch):
         from repro.cli import main

@@ -1,0 +1,167 @@
+"""SoA mirror property tests: the arrays must match the objects exactly.
+
+The structure-of-arrays stores in :mod:`repro.soa` are write-back
+mirrors, never the source of truth.  These tests replay randomized
+daemon / hot-plug / fault sequences through the public APIs and then
+compare every array (and the hot-query side sets) against the
+authoritative object state — per-block accounting, the offline set, and
+the controller's gating register — plus the reference address-layer
+rescan for gate eligibility.
+"""
+
+import random
+
+import numpy as np
+
+from repro.core.config import GreenDIMMConfig
+from repro.core.system import GreenDIMMSystem
+from repro.dram.organization import DDR4_4GB_X8, MemoryOrganization
+from repro.errors import AllocationError, WakeupTimeoutError
+from repro.faults.plan import storm_plan
+from repro.os.page import OwnerKind
+from repro.sim.server import ServerSimulator
+from repro.units import MIB
+from repro.workloads import profile_by_name
+
+
+def small_system(seed=7, fault_plan=None):
+    organization = MemoryOrganization(device=DDR4_4GB_X8, channels=1,
+                                      dimms_per_channel=2, ranks_per_dimm=1)
+    return GreenDIMMSystem(organization=organization,
+                           config=GreenDIMMConfig(block_bytes=128 * MIB),
+                           kernel_boot_bytes=512 * MIB,
+                           transient_failure_probability=0.5, seed=seed,
+                           fault_plan=fault_plan)
+
+
+def assert_block_store_matches(system):
+    """BlockStateStore arrays == the BlockAccounting objects, exactly."""
+    mm = system.mm
+    soa = mm.soa_view()  # flushes the dirty set
+    used = [mm.block_accounting(b).used_pages for b in range(mm.num_blocks)]
+    unmovable = [mm.block_accounting(b).unmovable_pages
+                 for b in range(mm.num_blocks)]
+    np.testing.assert_array_equal(soa.used_pages, used)
+    np.testing.assert_array_equal(soa.unmovable_pages, unmovable)
+    offline = set(system.hotplug.offline_blocks())
+    np.testing.assert_array_equal(
+        soa.offline, [b in offline for b in range(mm.num_blocks)])
+
+
+def assert_gate_store_matches(system):
+    """GroupGateStore arrays/side-sets == register + topology rescan."""
+    pc = system.power_control
+    soa = pc.soa
+    block_map = system.block_map
+    offline = pc.offline_blocks
+    cover = [sum(1 for b in offline if g in block_map.groups_of_block(b))
+             for g in range(block_map.num_groups)]
+    np.testing.assert_array_equal(soa.cover, cover)
+    full = {g for g in range(block_map.num_groups)
+            if cover[g] == soa.blocks_per_group}
+    assert soa._full == full
+    gated = {g for g in range(block_map.num_groups)
+             if pc.register.is_gated(g)}
+    assert soa._gated_set == gated
+    np.testing.assert_array_equal(
+        soa.gated, [g in gated for g in range(block_map.num_groups)])
+    # The incremental eligibility views must equal the reference rescan
+    # through the address-mapping layer, including ordering.
+    assert soa.eligible_groups() == block_map.gateable_groups(
+        offline, pair_constraint=soa.pair_gating)
+    assert list(np.nonzero(soa.eligible_mask())[0]) == soa.eligible_groups()
+    # Gated groups are always a subset the register agrees with; the
+    # candidates/broken views partition against it consistently.
+    assert set(soa.gate_candidates()).isdisjoint(gated)
+    assert set(soa.broken_gated_groups()) <= gated
+
+
+class TestRandomizedSequences:
+    def _churn(self, seed):
+        rng = random.Random(seed)
+        system = small_system(seed=seed)
+        mm, hotplug = system.mm, system.hotplug
+        daemon, pc = system.daemon, system.power_control
+        owners = [f"vm{i}" for i in range(4)]
+        now = 0.0
+        for step in range(160):
+            now += 1.0
+            roll = rng.random()
+            if roll < 0.35:
+                pages = rng.randrange(64, 24_000)
+                kind = OwnerKind.KERNEL if rng.random() < 0.1 \
+                    else OwnerKind.USER
+                try:
+                    mm.allocate(rng.choice(owners), pages, kind=kind)
+                except AllocationError:
+                    daemon.emergency_online(pages, now)
+            elif roll < 0.60:
+                mm.free_pages_of(rng.choice(owners),
+                                 rng.randrange(64, 24_000))
+            elif roll < 0.80:
+                daemon.monitor_once(now)
+            elif roll < 0.90:
+                candidates = hotplug.online_blocks()
+                if candidates:
+                    block = rng.choice(candidates)
+                    result = hotplug.try_offline_block(block)
+                    if result.success:
+                        pc.block_offlined(block, now)
+            else:
+                offline = hotplug.offline_blocks()
+                if offline:
+                    block = rng.choice(offline)
+                    try:
+                        pc.prepare_online(block, now)
+                    except WakeupTimeoutError:
+                        continue
+                    hotplug.online_block(block)
+                    pc.block_onlined(block, now)
+            if step % 20 == 19:
+                assert_block_store_matches(system)
+                assert_gate_store_matches(system)
+        assert_block_store_matches(system)
+        assert_gate_store_matches(system)
+        return system
+
+    def test_mirrors_match_after_randomized_churn(self):
+        for seed in (3, 11, 29):
+            system = self._churn(seed)
+            # The sequences must actually exercise the offline machinery,
+            # or the invariants above are vacuous.
+            assert system.daemon.stats.offline_events \
+                + system.hotplug.stats.offline_success > 0
+
+    def test_mirrors_match_after_fault_storm_run(self):
+        plan = storm_plan(303, intensity=4.0, duration_s=120.0,
+                          num_blocks=64)
+        sim = ServerSimulator(small_system(fault_plan=plan), seed=5,
+                              fast_forward=True)
+        sim.run_workload(profile_by_name("429.mcf"), epoch_s=1.0,
+                         pinned_churn=True)
+        assert sim.system.fault_injector.stats.total > 0
+        assert_block_store_matches(sim.system)
+        assert_gate_store_matches(sim.system)
+
+
+class TestResidencyClocks:
+    def test_offline_and_gated_residency_accumulate(self):
+        from repro.soa import GroupGateStore
+
+        store = GroupGateStore(num_blocks=4, num_groups=4,
+                               blocks_per_group=2,
+                               groups_of_block=[(0,), (0,), (1,), (1,)],
+                               pair_gating=True)
+        store.block_offlined(0, 1.0)
+        store.block_offlined(1, 2.0)
+        store.group_gated(0, 2.0)
+        assert store.eligible_groups() == []  # partner group 1 not full
+        store.block_offlined(2, 3.0)
+        store.block_offlined(3, 3.0)
+        assert store.eligible_groups() == [0, 1]
+        store.group_ungated(0, 5.0)
+        assert store.gated_total_s[0] == 3.0
+        store.block_onlined(0, 6.0)
+        assert store.offline_total_s[0] == 5.0
+        # Live clocks keep counting until the closing event.
+        assert store.offline_residency_s(7.0)[1] == 5.0
