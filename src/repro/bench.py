@@ -342,6 +342,28 @@ def compare_perf_core(
                 regressions.append(
                     f"{name}.{metric}: {ratio:.2f}x the baseline "
                     f"(threshold {1.0 + threshold:.2f}x)")
+    # Scenarios only the fresh document knows about (a benchmark added
+    # since the baseline was blessed).  There is nothing to ratio them
+    # against, but they must not be *invisible*: their bit-for-bit
+    # ``identical`` contract is enforced like everyone else's, and a
+    # basis-"new" row per metric keeps them in the rendered table with a
+    # non-fatal note telling the operator to re-bless the baseline.
+    for name, current in fresh_scenarios.items():
+        if name in base_scenarios:
+            continue
+        if not current.get("identical", False):
+            regressions.append(
+                f"{name}: fast and slow paths diverged (identical=false)")
+        for metric in _GATED_METRICS:
+            rows.append({
+                "scenario": name, "metric": metric,
+                "baseline_s": None,
+                "fresh_s": float(current.get(metric, 0.0)),
+                "ratio": None, "calibrated": calibrated,
+                "basis": "new", "regressed": False,
+                "note": f"scenario {name!r} absent from baseline — "
+                        f"re-bless to start gating it",
+            })
     return regressions, rows
 
 
@@ -350,9 +372,14 @@ def render_compare(regressions: List[str], rows: List[Dict[str, object]],
     """The CLI's view of one :func:`compare_perf_core` outcome."""
     from repro.analysis.report import Table
 
+    # Basis-"new" rows carry no ratio; the header basis describes only
+    # the rows that were actually compared against the baseline.
+    compared = [row for row in rows
+                if row.get("basis", "calibrated" if row.get("calibrated")
+                           else "raw") != "new"]
     bases = {row.get("basis", "calibrated" if row.get("calibrated")
-                     else "raw") for row in rows}
-    if not rows:
+                     else "raw") for row in compared}
+    if not compared:
         basis = "raw wall-time"
     elif bases == {"calibrated"}:
         basis = "calibrated"
@@ -365,18 +392,31 @@ def render_compare(regressions: List[str], rows: List[Dict[str, object]],
         f"bench regression gate ({basis} ratios, "
         f"threshold {1.0 + threshold:.2f}x)",
         ["scenario", "metric", "baseline", "fresh", "ratio", "status"])
+    notes: List[str] = []
     for row in rows:
+        row_basis = row.get("basis", "calibrated" if row.get("calibrated")
+                            else "raw")
+        if row_basis == "new":
+            if row.get("note") and row["note"] not in notes:
+                notes.append(row["note"])
+            table.add_row(
+                row["scenario"], row["metric"], "-",
+                f"{row['fresh_s']:.3f} s", "-",
+                "REGRESSED" if row["regressed"] else "new")
+            continue
         ratio_cell = f"{row['ratio']:.2f}x"
         if mixed:
             # Only annotate per-row when the bases actually differ —
             # the table header already names a uniform basis.
-            ratio_cell += f" ({row.get('basis', '?')})"
+            ratio_cell += f" ({row_basis})"
         table.add_row(
             row["scenario"], row["metric"],
             f"{row['baseline_s']:.3f} s", f"{row['fresh_s']:.3f} s",
             ratio_cell,
             "REGRESSED" if row["regressed"] else "ok")
     lines = [table.render()]
+    for note in notes:
+        lines.append(f"note: {note}")
     if regressions:
         lines.append("")
         lines.append("FAIL: " + "; ".join(regressions))

@@ -16,6 +16,12 @@ report METRICS [--trace FILE] [--out FILE] [--html]
 bench [--full] [--out FILE] [--compare [--baseline FILE] [--threshold T]]
                         time the simulation core fast vs per-epoch path
                         (and optionally gate against the committed numbers)
+figures run|check|bless [--fast] [--only ID] [--expected-dir DIR]
+                        [--report-dir DIR]
+                        regenerate every figure/table, write per-figure
+                        REPORT.md files, and diff the numbers against the
+                        committed expectations (check exits non-zero on
+                        drift; bless re-pins after an intentional change)
 faults storm|show       generate or inspect deterministic fault plans
 topology [--capacity]   show a platform's geometry and power envelope
 """
@@ -226,6 +232,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
         if regressions:
             return 1
     return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.figures import render_suite, run_suite
+
+    runners = _experiment_runners()
+    names = list(runners)
+    if args.only:
+        unknown = [n for n in args.only if n not in runners]
+        if unknown:
+            print(f"unknown experiment {unknown[0]!r}; "
+                  f"try: {', '.join(runners)}", file=sys.stderr)
+            return 2
+        names = list(args.only)
+    suite = run_suite(names, action=args.action, fast=args.fast,
+                      expected_dir=args.expected_dir,
+                      report_dir=args.report_dir,
+                      all_names=list(runners))
+    print(render_suite(suite))
+    for outcome in suite.outcomes:
+        if outcome.report_path is not None:
+            print(f"wrote {outcome.report_path}")
+    if args.action == "check":
+        return 0 if suite.passed else 1
+    return 0 if not any(o.error for o in suite.outcomes) else 1
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -474,6 +505,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="calibrated slowdown tolerated by --compare "
                               "(0.15 = 15%%)")
     bench_p.set_defaults(func=cmd_bench)
+
+    figures_p = sub.add_parser(
+        "figures",
+        help="regenerate every figure/table and gate the numbers "
+             "against the committed expectations")
+    figures_p.add_argument(
+        "action", choices=("run", "check", "bless"),
+        help="run = regenerate + report; check = also fail on drift or "
+             "stale expectations; bless = re-pin the expectations")
+    figures_p.add_argument("--fast", action="store_true",
+                           help="fast-mode experiment settings (the mode "
+                                "the committed expectations are pinned at)")
+    figures_p.add_argument("--only", action="append", metavar="ID",
+                           help="restrict to one experiment (repeatable)")
+    figures_p.add_argument("--expected-dir", default=None, metavar="DIR",
+                           help="expectation files "
+                                "(default: tests/expected/figures)")
+    figures_p.add_argument("--report-dir", default=None, metavar="DIR",
+                           help="per-figure REPORT.md output "
+                                "(default: reports/figures)")
+    figures_p.set_defaults(func=cmd_figures)
 
     faults_p = sub.add_parser(
         "faults", help="generate or inspect deterministic fault plans")

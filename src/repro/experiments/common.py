@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
 from repro.analysis.report import Table
+from repro.errors import ConfigurationError
 
 
 @dataclass
@@ -38,6 +40,36 @@ class ExperimentResult:
         if self.notes:
             out.append(f"note: {self.notes}")
         return "\n\n".join(out)
+
+    def expectation(self, mode: str = "fast") -> Dict[str, Any]:
+        """This result's headline numbers as a JSON-safe expectation doc.
+
+        The figure regression suite (``repro figures``) commits these
+        documents under ``tests/expected/figures/`` and diffs every
+        later run against them.  Only ``measured`` is pinned — the full
+        tables restate the same numbers at more rows, and the paper
+        values never change.  Non-finite floats serialize as ``None``
+        (strict JSON has no ``Infinity`` token); any value that is not a
+        plain scalar is rejected rather than silently stringified, so an
+        experiment cannot leak an uncomparable object into the gate.
+        """
+        values: Dict[str, Any] = {}
+        for key, value in self.measured.items():
+            if isinstance(value, float):
+                values[key] = value if math.isfinite(value) else None
+            elif isinstance(value, (bool, int, str)):
+                values[key] = value
+            else:
+                raise ConfigurationError(
+                    f"{self.experiment}.{key}: measured value of type "
+                    f"{type(value).__name__} cannot be pinned as an "
+                    f"expectation (use float/int/bool/str)")
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "mode": mode,
+            "values": values,
+        }
 
 
 def _fmt(value: Any) -> str:

@@ -1,0 +1,108 @@
+"""gem5 power-down staircase: independent validation of the memctrl
+low-power state machines.
+
+Not a GreenDIMM figure — the idle/power-down staircase of the gem5
+power-down integration paper (Jagtap et al., arXiv 1803.07613), run as a
+reproduction experiment so the figure regression suite pins it like any
+figure.  The sweep drives ``repro.memctrl``'s rank low-power policy,
+PASR mask, and mode-register file through idle-period, bank-gating, and
+gate-mask staircases; the headline numbers are the detected demotion
+thresholds, the published exit latencies, and the violation counts of
+the staircase/monotonicity contracts (all of which must be zero).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table
+from repro.experiments.common import ExperimentResult
+from repro.memctrl.lowpower import LowPowerConfig
+from repro.memctrl.staircase import (
+    DEFAULT_IDLE_SWEEP_NS,
+    detect_entry_threshold,
+    run_mrs_sweep,
+    run_pasr_sweep,
+    run_staircase,
+    validate_pasr_sweep,
+    validate_staircase,
+)
+from repro.power.states import PowerState, exit_latency_ns
+
+#: Extra idle points the full (non-fast) run adds between the sweep's
+#: decades, for a denser curve around each threshold.
+_FULL_EXTRA_NS = (200.0, 500.0, 2_000.0, 5_000.0, 20_000.0, 50_000.0,
+                  200_000.0, 500_000.0, 2_000_000.0)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    config = LowPowerConfig()
+    sweep = DEFAULT_IDLE_SWEEP_NS
+    if not fast:
+        sweep = tuple(sorted(set(sweep) | set(_FULL_EXTRA_NS)))
+    points = run_staircase(config=config, idle_sweep_ns=sweep)
+    staircase = validate_staircase(points, config=config)
+
+    table = Table("gem5 idle/power-down staircase (one rank, 64GB platform)",
+                  ["idle gap", "state at wake", "exit latency",
+                   "idle energy", "mean idle power"])
+    for point in points:
+        table.add_row(f"{point.idle_ns / 1000.0:g} us",
+                      point.state.value,
+                      f"{point.wake_penalty_ns:g} ns",
+                      f"{point.idle_energy_nj:.1f} nJ",
+                      f"{point.idle_power_w:.3f} W")
+
+    pasr_steps = run_pasr_sweep()
+    pasr_problems = validate_pasr_sweep(pasr_steps)
+    mrs = run_mrs_sweep()
+    mech = Table("gating command-path staircases",
+                 ["mechanism", "steps", "headline", "violations"])
+    mech.add_row("PASR bank masks", len(pasr_steps) - 1,
+                 f"refreshing fraction {pasr_steps[0][1]:.0%} -> "
+                 f"{pasr_steps[-1][1]:.0%}", len(pasr_problems))
+    mech.add_row("mode-register gate mask", "4 slices",
+                 f"full update {mrs['full_update_ns']:g} ns, "
+                 f"idempotent {mrs['idempotent_update_ns']:g} ns",
+                 0 if mrs["consistent"] else 1)
+
+    # Idle-power plateaus: one representative point well inside each
+    # state regime (past the entry transient, before the next threshold).
+    by_idle = {point.idle_ns: point for point in points}
+    standby_w = by_idle[700.0].idle_power_w
+    powerdown_w = by_idle[10_000.0].idle_power_w
+    selfrefresh_w = by_idle[1_000_000.0].idle_power_w
+    return ExperimentResult(
+        experiment="gem5-staircase",
+        description="gem5 power-down staircase validation "
+                    "(Jagtap et al., arXiv 1803.07613)",
+        tables=[table, mech],
+        measured={
+            "powerdown_entry_ns": detect_entry_threshold(
+                PowerState.POWER_DOWN, config=config),
+            "selfrefresh_entry_ns": detect_entry_threshold(
+                PowerState.SELF_REFRESH, config=config),
+            "powerdown_exit_ns": exit_latency_ns(PowerState.POWER_DOWN),
+            "selfrefresh_exit_ns": exit_latency_ns(PowerState.SELF_REFRESH),
+            "staircase_violations": len(staircase.violations),
+            "pasr_violations": len(pasr_problems),
+            "mrs_full_update_ns": mrs["full_update_ns"],
+            "mrs_idempotent_update_ns": mrs["idempotent_update_ns"],
+            "mrs_lockstep_consistent": bool(mrs["consistent"]),
+            "idle_power_standby_w": standby_w,
+            "idle_power_powerdown_w": powerdown_w,
+            "idle_power_selfrefresh_w": selfrefresh_w,
+            "powerdown_power_reduction": 1.0 - powerdown_w / standby_w,
+            "selfrefresh_power_reduction": 1.0 - selfrefresh_w / standby_w,
+        },
+        paper={
+            # Anchors from the DDR4 datasheet values both papers share.
+            "powerdown_entry_ns": config.powerdown_idle_ns,
+            "selfrefresh_entry_ns": config.selfrefresh_idle_ns,
+            "powerdown_exit_ns": 18.0,
+            "selfrefresh_exit_ns": 768.0,
+            "staircase_violations": 0,
+            "pasr_violations": 0,
+            "mrs_full_update_ns": 30.0,
+        },
+        notes="idle-energy curve is monotone with non-increasing marginal "
+              "power (the staircase contract); thresholds are detected by "
+              "bisection on the state machine, not read from its config")

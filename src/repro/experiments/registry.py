@@ -25,6 +25,7 @@ def runners() -> Dict[str, Callable[..., ExperimentResult]]:
         fig08_failures,
         fig12_offlined_blocks,
         fig13_capacity_scaling,
+        gem5_staircase,
         tab01_power_vs_util,
         tab03_latency,
         tail_latency,
@@ -59,6 +60,7 @@ def runners() -> Dict[str, Callable[..., ExperimentResult]]:
         "tail-latency": tail_latency.run,
         "fault-storm": fault_storm.run,
         "fleet": fleet.run,
+        "gem5-staircase": gem5_staircase.run,
     }
 
 

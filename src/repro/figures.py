@@ -1,0 +1,392 @@
+"""The paper-figure regression suite behind ``repro figures``.
+
+Every experiment the registry knows (Figs. 1–13, Tables 1–3, and the
+extension studies) has a committed *expectation file* under
+``tests/expected/figures/<id>.json`` holding the key reproduced numbers
+at fast-mode settings.  ``repro figures check`` regenerates each
+experiment, writes a per-figure ``REPORT.md`` (the Kill-Llama
+reproduction layout: rendered tables plus an expected-vs-measured diff),
+and exits non-zero when any cell drifts beyond its relative tolerance —
+so a refactor that silently shifts an energy-saving percentage fails CI
+instead of shipping.  ``repro figures bless`` re-pins the expectations
+after an *intentional* model change.
+
+Tolerance policy: every numeric cell is compared at a per-cell
+*relative* tolerance — the file-level ``tolerance`` (default
+:data:`DEFAULT_TOLERANCE`), overridable per key via ``tolerances``.
+Bools, ints, and strings must match exactly.  The experiments are
+seeded, so the default tolerance only needs to absorb float-arithmetic
+drift across Python/numpy versions, not run-to-run noise.
+
+An expectation file whose experiment is no longer registered is *stale*
+and fails ``check``: a silently orphaned pin is indistinguishable from
+coverage.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+
+#: Relative tolerance applied to every numeric cell unless the
+#: expectation file overrides it for a specific key.  The suite is
+#: seeded and deterministic; this absorbs cross-version float drift.
+DEFAULT_TOLERANCE = 1e-4
+
+_PADDED = re.compile(r"^(fig|tab)(\d+)$")
+
+
+def file_id(name: str) -> str:
+    """Registry name -> expectation-file stem (``fig1`` -> ``fig01``).
+
+    Zero-padding matches the Kill-Llama per-figure directory layout and
+    keeps the expectation directory listing in figure order.
+    """
+    match = _PADDED.match(name)
+    if match:
+        return f"{match.group(1)}{int(match.group(2)):02d}"
+    return name
+
+
+def repo_root() -> pathlib.Path:
+    """The source checkout this module runs from (or the CWD outside one)."""
+    root = pathlib.Path(__file__).resolve().parents[2]
+    if (root / "pyproject.toml").exists():
+        return root
+    return pathlib.Path.cwd()
+
+
+def default_expected_dir() -> pathlib.Path:
+    return repo_root() / "tests" / "expected" / "figures"
+
+
+def default_report_dir() -> pathlib.Path:
+    return repo_root() / "reports" / "figures"
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    """One expectation cell compared against the fresh measurement."""
+
+    key: str
+    expected: Any
+    measured: Any
+    tolerance: float
+    #: Relative error for numeric cells (``None`` for exact-match kinds
+    #: and for missing/extra cells).
+    rel_err: Optional[float]
+    #: ``value`` (compared), ``missing`` (pinned key the run no longer
+    #: produces), or ``extra`` (new measured key with no pin).
+    kind: str
+    ok: bool
+
+    def describe(self) -> str:
+        if self.kind == "missing":
+            return f"{self.key}: pinned but not measured any more"
+        if self.kind == "extra":
+            return (f"{self.key}: measured but not pinned "
+                    f"(bless to start gating it)")
+        if self.ok:
+            return f"{self.key}: ok"
+        if self.rel_err is not None:
+            return (f"{self.key}: expected {_fmt(self.expected)}, measured "
+                    f"{_fmt(self.measured)} (rel. err {self.rel_err:.2e} > "
+                    f"tolerance {self.tolerance:g})")
+        return (f"{self.key}: expected {self.expected!r}, "
+                f"measured {self.measured!r}")
+
+
+@dataclass
+class FigureOutcome:
+    """One experiment's trip through the suite."""
+
+    name: str
+    file_id: str
+    result: Optional[ExperimentResult] = None
+    expectation: Optional[Dict[str, Any]] = None
+    diffs: List[CellDiff] = field(default_factory=list)
+    error: str = ""
+    report_path: Optional[pathlib.Path] = None
+    blessed: bool = False
+
+    @property
+    def drifted(self) -> List[CellDiff]:
+        return [d for d in self.diffs if not d.ok]
+
+    @property
+    def passed(self) -> bool:
+        return (not self.error and self.expectation is not None
+                and not self.drifted)
+
+    def status(self) -> str:
+        if self.error:
+            return "ERROR"
+        if self.blessed:
+            return "blessed"
+        if self.expectation is None:
+            return "NO EXPECTATION"
+        return "ok" if self.passed else "DRIFT"
+
+
+def expected_path(expected_dir: pathlib.Path, name: str) -> pathlib.Path:
+    return pathlib.Path(expected_dir) / f"{file_id(name)}.json"
+
+
+def load_expectation(path: pathlib.Path) -> Dict[str, Any]:
+    """Parse and structurally validate one expectation file."""
+    document = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(document, dict) or "values" not in document:
+        raise ConfigurationError(
+            f"{path}: not an expectation document (no 'values' key)")
+    if not isinstance(document["values"], dict):
+        raise ConfigurationError(f"{path}: 'values' must be an object")
+    return document
+
+
+def write_expectation(path: pathlib.Path, result: ExperimentResult,
+                      mode: str = "fast",
+                      tolerance: float = DEFAULT_TOLERANCE) -> None:
+    """Pin *result*'s numbers to *path* (the ``bless`` action)."""
+    document = result.expectation(mode=mode)
+    document["tolerance"] = tolerance
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def compare_measured(expectation: Dict[str, Any],
+                     result: ExperimentResult) -> List[CellDiff]:
+    """Diff a fresh result against one expectation document, per cell."""
+    default_tol = float(expectation.get("tolerance", DEFAULT_TOLERANCE))
+    overrides: Dict[str, float] = expectation.get("tolerances", {}) or {}
+    expected_values: Dict[str, Any] = expectation["values"]
+    measured = result.expectation()["values"]
+    diffs: List[CellDiff] = []
+    for key in sorted(set(expected_values) | set(measured)):
+        tol = float(overrides.get(key, default_tol))
+        if key not in measured:
+            diffs.append(CellDiff(key, expected_values[key], None, tol,
+                                  None, "missing", False))
+            continue
+        if key not in expected_values:
+            diffs.append(CellDiff(key, None, measured[key], tol,
+                                  None, "extra", False))
+            continue
+        expected = expected_values[key]
+        actual = measured[key]
+        diffs.append(_compare_cell(key, expected, actual, tol))
+    return diffs
+
+
+def _compare_cell(key: str, expected: Any, actual: Any,
+                  tol: float) -> CellDiff:
+    # bool is an int subclass: test it first so True never compares as 1.0.
+    if isinstance(expected, bool) or isinstance(actual, bool):
+        return CellDiff(key, expected, actual, tol, None, "value",
+                        expected is actual)
+    if expected is None or actual is None:
+        # A serialized non-finite float; only another one matches.
+        return CellDiff(key, expected, actual, tol, None, "value",
+                        expected is None and actual is None)
+    if isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        if isinstance(expected, int) and isinstance(actual, int):
+            return CellDiff(key, expected, actual, tol, None, "value",
+                            expected == actual)
+        denom = max(abs(float(expected)), 1e-12)
+        rel_err = abs(float(actual) - float(expected)) / denom
+        return CellDiff(key, expected, actual, tol, rel_err, "value",
+                        rel_err <= tol)
+    return CellDiff(key, expected, actual, tol, None, "value",
+                    expected == actual)
+
+
+def stale_expectations(expected_dir: pathlib.Path,
+                       names: Sequence[str]) -> List[pathlib.Path]:
+    """Committed expectation files with no registered experiment behind them."""
+    directory = pathlib.Path(expected_dir)
+    if not directory.is_dir():
+        return []
+    known = {file_id(name) for name in names}
+    return sorted(path for path in directory.glob("*.json")
+                  if path.stem not in known)
+
+
+# --- the per-figure report ----------------------------------------------------
+
+def build_figure_report(outcome: FigureOutcome, fast: bool) -> str:
+    """Kill-Llama-style REPORT.md for one figure/table experiment."""
+    result = outcome.result
+    lines = [f"# {outcome.file_id} — "
+             f"{result.description if result else outcome.name}", ""]
+    lines += ["## Overview", "",
+              f"Regenerated by `repro figures` in "
+              f"{'fast' if fast else 'full'} mode from experiment "
+              f"`{outcome.name}`.  The diff below compares this run's "
+              f"headline numbers against the committed expectation "
+              f"(`tests/expected/figures/{outcome.file_id}.json`); drift "
+              f"beyond the per-cell relative tolerance fails "
+              f"`repro figures check`.", ""]
+    if outcome.error:
+        lines += ["## Error", "", "```", outcome.error, "```", ""]
+        return "\n".join(lines)
+    lines += ["## Reproduced tables", "", "```", result.render(), "```", ""]
+    lines += ["## Expectation diff", ""]
+    if outcome.expectation is None:
+        lines += ["No committed expectation — run "
+                  "`repro figures bless` to pin this experiment.", ""]
+    else:
+        lines += ["| metric | expected | measured | rel. err | "
+                  "tolerance | status |",
+                  "| --- | --- | --- | --- | --- | --- |"]
+        for diff in outcome.diffs:
+            rel = f"{diff.rel_err:.2e}" if diff.rel_err is not None else "-"
+            status = "ok" if diff.ok else diff.kind.upper() \
+                if diff.kind != "value" else "DRIFT"
+            lines.append(f"| {diff.key} | {_fmt(diff.expected)} | "
+                         f"{_fmt(diff.measured)} | {rel} | "
+                         f"{diff.tolerance:g} | {status} |")
+        lines.append("")
+    verdict = outcome.status()
+    if outcome.blessed:
+        lines += [f"**Status: blessed** — expectation re-pinned from "
+                  f"this run.", ""]
+    elif verdict == "ok":
+        lines += ["**Status: PASS** — every cell within tolerance.", ""]
+    else:
+        drifted = ", ".join(d.key for d in outcome.drifted) or "-"
+        lines += [f"**Status: FAIL ({verdict})** — drifted cells: "
+                  f"{drifted}.", ""]
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+# --- the suite driver ---------------------------------------------------------
+
+@dataclass
+class SuiteOutcome:
+    """What one ``repro figures`` invocation did, for rendering and gating."""
+
+    outcomes: List[FigureOutcome]
+    stale: List[pathlib.Path]
+    action: str
+
+    @property
+    def failures(self) -> List[str]:
+        """Human-readable gate failures (empty means the check passes)."""
+        messages: List[str] = []
+        for outcome in self.outcomes:
+            if outcome.error:
+                messages.append(f"{outcome.file_id}: experiment failed: "
+                                f"{outcome.error}")
+            elif outcome.blessed:
+                continue
+            elif outcome.expectation is None:
+                messages.append(f"{outcome.file_id}: no committed "
+                                f"expectation (run `repro figures bless`)")
+            else:
+                for diff in outcome.drifted:
+                    messages.append(f"{outcome.file_id}: {diff.describe()}")
+        for path in self.stale:
+            messages.append(f"stale expectation {path.name}: no experiment "
+                            f"named for it is registered")
+        return messages
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def run_suite(names: Sequence[str], action: str = "check",
+              fast: bool = True,
+              expected_dir: Optional[pathlib.Path] = None,
+              report_dir: Optional[pathlib.Path] = None,
+              all_names: Optional[Sequence[str]] = None) -> SuiteOutcome:
+    """Run the figure suite over *names*.
+
+    *action* is ``run`` (regenerate + report), ``check`` (also gate), or
+    ``bless`` (re-pin expectations from this run).  *all_names* is the
+    full registry — staleness is judged against it, and against *names*
+    only when a subset was requested (a partial run must not flag the
+    rest of the suite's files as stale).
+    """
+    if action not in ("run", "check", "bless"):
+        raise ConfigurationError(f"unknown figures action {action!r}")
+    from repro.experiments.registry import run_experiment
+
+    expected_dir = pathlib.Path(expected_dir or default_expected_dir())
+    report_dir = pathlib.Path(report_dir or default_report_dir())
+    mode = "fast" if fast else "full"
+    outcomes: List[FigureOutcome] = []
+    for name in names:
+        outcome = FigureOutcome(name=name, file_id=file_id(name))
+        pin = expected_path(expected_dir, name)
+        try:
+            outcome.result = run_experiment(name, fast=fast)
+            if action == "bless":
+                write_expectation(pin, outcome.result, mode=mode)
+                outcome.blessed = True
+                outcome.expectation = load_expectation(pin)
+                outcome.diffs = compare_measured(outcome.expectation,
+                                                 outcome.result)
+            elif pin.exists():
+                outcome.expectation = load_expectation(pin)
+                if outcome.expectation.get("mode", mode) != mode:
+                    outcome.error = (
+                        f"expectation pinned in "
+                        f"{outcome.expectation.get('mode')!r} mode but this "
+                        f"run is {mode!r} — rerun with matching --fast")
+                else:
+                    outcome.diffs = compare_measured(outcome.expectation,
+                                                     outcome.result)
+        except Exception as err:  # noqa: BLE001 — one figure must not
+            # take down the rest of the suite; the error is the outcome.
+            outcome.error = f"{type(err).__name__}: {err}"
+        target = report_dir / outcome.file_id / "REPORT.md"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(build_figure_report(outcome, fast))
+        outcome.report_path = target
+        outcomes.append(outcome)
+    stale = stale_expectations(expected_dir, list(all_names or names))
+    return SuiteOutcome(outcomes=outcomes, stale=stale, action=action)
+
+
+def render_suite(suite: SuiteOutcome) -> str:
+    """The CLI's table view of one suite invocation."""
+    from repro.analysis.report import Table
+
+    table = Table(f"figure regression suite ({suite.action})",
+                  ["figure", "experiment", "cells", "drift", "status"])
+    for outcome in suite.outcomes:
+        table.add_row(outcome.file_id, outcome.name,
+                      len(outcome.diffs),
+                      len(outcome.drifted) if outcome.diffs else "-",
+                      outcome.status())
+    lines = [table.render()]
+    failures = suite.failures
+    if suite.action in ("check",) and failures:
+        lines.append("")
+        lines.append("FAIL:")
+        lines.extend(f"  - {message}" for message in failures)
+    elif suite.action == "check":
+        lines.append("")
+        lines.append("OK: every figure matches its committed expectation.")
+    elif suite.stale:
+        lines.append("")
+        lines.extend(f"note: stale expectation {path.name}"
+                     for path in suite.stale)
+    return "\n".join(lines)

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.errors import SimulationError
+
 
 @dataclass
 class ResidencyStats:
@@ -48,7 +50,18 @@ class ResidencyStats:
         between active and precharge standby.  The three shares sum to
         *span_s* (up to float rounding), preserving the
         buckets-sum-to-duration invariant.
+
+        Both fractions are clamped into [0, 1]: the vectorized epoch
+        paths can hand over values a few ulps outside the interval, and
+        an unclamped overshoot would book *negative* seconds into a
+        bucket — silently corrupting :meth:`fractions`.  A negative
+        *span_s* has no such benign reading and is rejected.
         """
+        if span_s < 0.0:
+            raise SimulationError(
+                f"cannot attribute a negative residency span ({span_s!r} s)")
+        active_residency = min(1.0, max(0.0, active_residency))
+        dpd_fraction = min(1.0, max(0.0, dpd_fraction))
         gated_s = span_s * dpd_fraction
         live_s = span_s - gated_s
         active_s = live_s * active_residency

@@ -15,6 +15,14 @@ from typing import Callable, List, Tuple
 from repro.analysis.report import Table
 from repro.dram.device import DDR4_8GB_X8
 from repro.dram.organization import azure_server_memory, spec_server_memory
+from repro.memctrl.lowpower import LowPowerConfig
+from repro.memctrl.staircase import (
+    detect_entry_threshold,
+    run_pasr_sweep,
+    run_staircase,
+    validate_pasr_sweep,
+    validate_staircase,
+)
 from repro.power.cacti import estimate_gating_cost
 from repro.power.model import DRAMPowerModel
 from repro.power.states import PowerState, exit_latency_ns
@@ -78,6 +86,20 @@ def _checks() -> List[Tuple[str, float, Callable[[], float], float]]:
         ("min power unit fraction", 0.015625,
          lambda: (spec_server_memory().min_power_unit_bytes
                   / spec_server_memory().total_capacity_bytes), 0.0),
+        # gem5 staircase (Jagtap et al.): the idle-period sweep must
+        # demote at the configured thresholds — detected by bisection on
+        # the state machine itself — and trace a monotone staircase.
+        ("staircase power-down entry (ns)",
+         LowPowerConfig().powerdown_idle_ns,
+         lambda: detect_entry_threshold(PowerState.POWER_DOWN), 1e-9),
+        ("staircase self-refresh entry (ns)",
+         LowPowerConfig().selfrefresh_idle_ns,
+         lambda: detect_entry_threshold(PowerState.SELF_REFRESH), 1e-9),
+        ("staircase contract violations", 0.0,
+         lambda: float(len(validate_staircase(run_staircase()).violations)),
+         0.0),
+        ("PASR gating sweep violations", 0.0,
+         lambda: float(len(validate_pasr_sweep(run_pasr_sweep()))), 0.0),
     ]
 
 

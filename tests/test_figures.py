@@ -1,0 +1,254 @@
+"""The paper-figure regression suite (``repro figures``)."""
+
+import json
+
+import pytest
+
+from repro.analysis.report import Table
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.figures import (
+    DEFAULT_TOLERANCE,
+    CellDiff,
+    compare_measured,
+    default_expected_dir,
+    expected_path,
+    file_id,
+    load_expectation,
+    run_suite,
+    stale_expectations,
+    write_expectation,
+)
+
+
+def _result(measured=None, experiment="fig2", **kwargs):
+    table = Table("t", ["a", "b"])
+    table.add_row(1, 2)
+    return ExperimentResult(
+        experiment=experiment, description="a test figure",
+        tables=[table],
+        measured=measured if measured is not None else {"x": 1.0},
+        **kwargs)
+
+
+class TestFileId:
+    def test_figures_and_tables_zero_pad(self):
+        assert file_id("fig1") == "fig01"
+        assert file_id("fig13") == "fig13"
+        assert file_id("tab1") == "tab01"
+
+    def test_named_experiments_pass_through(self):
+        assert file_id("fleet") == "fleet"
+        assert file_id("fault-storm") == "fault-storm"
+        assert file_id("gem5-staircase") == "gem5-staircase"
+
+
+class TestExpectationSerializer:
+    def test_scalars_survive_and_mode_is_recorded(self):
+        result = _result({"f": 1.5, "i": 3, "b": True, "s": "mcf"})
+        doc = result.expectation(mode="fast")
+        assert doc["experiment"] == "fig2"
+        assert doc["mode"] == "fast"
+        assert doc["values"] == {"f": 1.5, "i": 3, "b": True, "s": "mcf"}
+
+    def test_non_finite_floats_become_null(self):
+        doc = _result({"inf": float("inf")}).expectation()
+        assert doc["values"]["inf"] is None
+        assert "null" in json.dumps(doc)  # strict-JSON serializable
+
+    def test_unpinnable_types_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot be pinned"):
+            _result({"bad": [1, 2]}).expectation()
+
+
+class TestCompareMeasured:
+    def _expectation(self, values, tolerance=DEFAULT_TOLERANCE, **extra):
+        return {"experiment": "fig2", "mode": "fast",
+                "tolerance": tolerance, "values": values, **extra}
+
+    def test_identical_values_pass(self):
+        result = _result({"x": 1.0, "n": 3, "ok": True, "app": "mcf"})
+        diffs = compare_measured(
+            self._expectation({"x": 1.0, "n": 3, "ok": True, "app": "mcf"}),
+            result)
+        assert all(d.ok for d in diffs)
+
+    def test_relative_tolerance_per_cell(self):
+        expectation = self._expectation({"x": 100.0})
+        within = compare_measured(expectation, _result({"x": 100.009}))
+        assert all(d.ok for d in within)
+        beyond = compare_measured(expectation, _result({"x": 100.02}))
+        assert not beyond[0].ok
+        assert beyond[0].rel_err == pytest.approx(2e-4)
+
+    def test_per_key_tolerance_override(self):
+        expectation = self._expectation(
+            {"x": 100.0}, tolerances={"x": 0.05})
+        diffs = compare_measured(expectation, _result({"x": 103.0}))
+        assert diffs[0].ok
+
+    def test_bools_ints_strings_match_exactly(self):
+        expectation = self._expectation({"b": True, "n": 3, "s": "mcf"})
+        diffs = compare_measured(
+            expectation, _result({"b": False, "n": 4, "s": "gcc"}))
+        assert all(not d.ok for d in diffs)
+        # A bool never passes as the numeral it equals.
+        sneaky = compare_measured(self._expectation({"b": True}),
+                                  _result({"b": 1}))
+        assert not sneaky[0].ok
+
+    def test_missing_and_extra_keys_fail(self):
+        expectation = self._expectation({"gone": 1.0})
+        diffs = compare_measured(expectation, _result({"new": 2.0}))
+        kinds = {d.key: d.kind for d in diffs}
+        assert kinds == {"gone": "missing", "new": "extra"}
+        assert all(not d.ok for d in diffs)
+        assert "bless" in [d for d in diffs if d.kind == "extra"][0].describe()
+
+    def test_non_finite_only_matches_non_finite(self):
+        expectation = self._expectation({"x": None})
+        assert compare_measured(expectation,
+                                _result({"x": float("nan")}))[0].ok
+        assert not compare_measured(expectation, _result({"x": 1.0}))[0].ok
+
+
+class TestStaleExpectations:
+    def test_orphaned_file_is_listed(self, tmp_path):
+        write_expectation(tmp_path / "fig02.json", _result())
+        (tmp_path / "fig99.json").write_text('{"values": {}}')
+        stale = stale_expectations(tmp_path, ["fig2"])
+        assert [p.name for p in stale] == ["fig99.json"]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert stale_expectations(tmp_path / "nope", ["fig2"]) == []
+
+
+class TestRunSuite:
+    def test_bless_then_check_roundtrip(self, tmp_path):
+        expected = tmp_path / "expected"
+        reports = tmp_path / "reports"
+        blessed = run_suite(["fig2"], action="bless", fast=True,
+                            expected_dir=expected, report_dir=reports)
+        assert blessed.passed
+        assert (expected / "fig02.json").exists()
+        checked = run_suite(["fig2"], action="check", fast=True,
+                            expected_dir=expected, report_dir=reports)
+        assert checked.passed
+        report = (reports / "fig02" / "REPORT.md").read_text()
+        assert "Status: PASS" in report
+        assert "| metric | expected | measured |" in report
+
+    def test_check_without_expectation_fails(self, tmp_path):
+        suite = run_suite(["fig2"], action="check", fast=True,
+                          expected_dir=tmp_path / "empty",
+                          report_dir=tmp_path / "reports")
+        assert not suite.passed
+        assert any("no committed expectation" in m for m in suite.failures)
+
+    def test_check_names_drifted_cell(self, tmp_path):
+        expected = tmp_path / "expected"
+        run_suite(["fig2"], action="bless", fast=True,
+                  expected_dir=expected, report_dir=tmp_path / "r")
+        pin = expected / "fig02.json"
+        document = json.loads(pin.read_text())
+        document["values"]["busy_w_256gb"] *= 1.10
+        pin.write_text(json.dumps(document))
+        suite = run_suite(["fig2"], action="check", fast=True,
+                          expected_dir=expected, report_dir=tmp_path / "r")
+        assert not suite.passed
+        assert any("busy_w_256gb" in m for m in suite.failures)
+        report = (tmp_path / "r" / "fig02" / "REPORT.md").read_text()
+        assert "DRIFT" in report
+
+    def test_mode_mismatch_is_an_error(self, tmp_path):
+        expected = tmp_path / "expected"
+        run_suite(["fig2"], action="bless", fast=True,
+                  expected_dir=expected, report_dir=tmp_path / "r")
+        suite = run_suite(["fig2"], action="check", fast=False,
+                          expected_dir=expected, report_dir=tmp_path / "r")
+        assert not suite.passed
+        assert any("mode" in m for m in suite.failures)
+
+    def test_partial_run_judges_staleness_against_registry(self, tmp_path):
+        expected = tmp_path / "expected"
+        run_suite(["fig2", "tab1"], action="bless", fast=True,
+                  expected_dir=expected, report_dir=tmp_path / "r")
+        # Checking only fig2 must not flag tab01.json as stale.
+        suite = run_suite(["fig2"], action="check", fast=True,
+                          expected_dir=expected, report_dir=tmp_path / "r",
+                          all_names=["fig2", "tab1"])
+        assert suite.passed
+
+
+class TestCommittedExpectations:
+    def test_every_registered_experiment_has_a_pin(self):
+        from repro.experiments.registry import runners
+
+        directory = default_expected_dir()
+        missing = [name for name in runners()
+                   if not expected_path(directory, name).exists()]
+        assert missing == [], f"unblessed experiments: {missing}"
+
+    def test_no_stale_committed_pins(self):
+        from repro.experiments.registry import runners
+
+        assert stale_expectations(default_expected_dir(),
+                                  list(runners())) == []
+
+    def test_committed_pins_parse_and_are_fast_mode(self):
+        for path in sorted(default_expected_dir().glob("*.json")):
+            document = load_expectation(path)
+            assert document["mode"] == "fast", path.name
+            assert document["values"], path.name
+
+
+class TestFiguresCLI:
+    def test_check_fails_on_perturbed_expectation(self, tmp_path, capsys):
+        expected = tmp_path / "expected"
+        assert main(["figures", "bless", "--fast", "--only", "fig2",
+                     "--expected-dir", str(expected),
+                     "--report-dir", str(tmp_path / "r")]) == 0
+        pin = expected / "fig02.json"
+        document = json.loads(pin.read_text())
+        document["values"]["idle_w_256gb"] *= 1.02
+        pin.write_text(json.dumps(document))
+        capsys.readouterr()
+        code = main(["figures", "check", "--fast", "--only", "fig2",
+                     "--expected-dir", str(expected),
+                     "--report-dir", str(tmp_path / "r")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+        assert "idle_w_256gb" in out  # the drift is named
+
+    def test_check_fails_on_stale_expectation(self, tmp_path, capsys):
+        expected = tmp_path / "expected"
+        assert main(["figures", "bless", "--fast", "--only", "fig2",
+                     "--expected-dir", str(expected),
+                     "--report-dir", str(tmp_path / "r")]) == 0
+        (expected / "fig99.json").write_text('{"values": {}}')
+        code = main(["figures", "check", "--fast", "--only", "fig2",
+                     "--expected-dir", str(expected),
+                     "--report-dir", str(tmp_path / "r")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "stale expectation fig99.json" in out
+
+    def test_unknown_only_id(self, capsys):
+        assert main(["figures", "check", "--only", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_action_reports_but_does_not_gate(self, tmp_path, capsys):
+        code = main(["figures", "run", "--fast", "--only", "tab1",
+                     "--expected-dir", str(tmp_path / "empty"),
+                     "--report-dir", str(tmp_path / "r")])
+        assert code == 0  # no expectation is only fatal under `check`
+        assert (tmp_path / "r" / "tab01" / "REPORT.md").exists()
+
+
+class TestCellDiffDescribe:
+    def test_drift_description_names_tolerance(self):
+        diff = CellDiff("x", 1.0, 2.0, 0.01, 1.0, "value", False)
+        message = diff.describe()
+        assert "x" in message and "tolerance" in message

@@ -3,6 +3,7 @@
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.obs import (
     GLOBAL_TRACER,
@@ -111,6 +112,43 @@ class TestResidencyStats:
 
     def test_empty_fractions(self):
         assert ResidencyStats().fractions() == {}
+
+    def test_marginally_out_of_range_inputs_are_clamped(self):
+        # Upstream vectorized paths can hand over fractions a few ulps
+        # outside [0, 1]; unclamped, those booked *negative* seconds.
+        stats = ResidencyStats()
+        stats.add_span(10.0, active_residency=1.0 + 1e-15,
+                       dpd_fraction=-1e-15)
+        assert stats.active_standby_s == pytest.approx(10.0)
+        assert stats.precharge_standby_s >= 0.0
+        assert stats.deep_power_down_s >= 0.0
+        assert stats.total_s == pytest.approx(10.0)
+
+    def test_gross_overshoot_cannot_corrupt_fractions(self):
+        stats = ResidencyStats()
+        stats.add_span(5.0, active_residency=1.5, dpd_fraction=-0.5)
+        fractions = stats.fractions()
+        assert all(share >= 0.0 for share in fractions.values())
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_negative_span_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="negative residency span"):
+            ResidencyStats().add_span(-1e-9, active_residency=0.5,
+                                      dpd_fraction=0.0)
+
+    @given(span_s=st.floats(min_value=0.0, max_value=1e6),
+           active=st.floats(min_value=-0.25, max_value=1.25),
+           dpd=st.floats(min_value=-0.25, max_value=1.25))
+    @settings(max_examples=200, deadline=None)
+    def test_buckets_never_negative_and_sum_to_span(self, span_s, active,
+                                                    dpd):
+        stats = ResidencyStats()
+        stats.add_span(span_s, active_residency=active, dpd_fraction=dpd)
+        for seconds in stats.as_dict().values():
+            assert seconds >= 0.0
+        assert stats.total_s == pytest.approx(span_s, abs=1e-6 * (span_s + 1))
 
 
 def _residency_of(fast: bool):
@@ -356,6 +394,65 @@ class TestBenchGate:
         mixed = render_compare([], rows_cal + rows_raw)
         assert "mixed-basis ratios" in mixed
         assert "(calibrated)" in mixed and "(raw)" in mixed
+
+    def test_fresh_only_scenario_is_visible_not_silent(self):
+        # Pre-fix blindness: compare_perf_core iterated only the
+        # baseline's scenarios, so a scenario added since the bless was
+        # invisible — no row rendered, identical never enforced.
+        from repro.bench import compare_perf_core
+
+        base = self._doc(1.0, {"mix": (0.5, 2.0)})
+        fresh = self._doc(1.0, {"mix": (0.5, 2.0),
+                                "soa_sweep": (0.3, 1.0)})
+        regressions, rows = compare_perf_core(fresh, base)
+        assert regressions == []  # presence alone is non-fatal
+        new_rows = [r for r in rows if r["basis"] == "new"]
+        assert {r["scenario"] for r in new_rows} == {"soa_sweep"}
+        assert len(new_rows) == 2  # one per gated metric
+        assert all("re-bless" in r["note"] for r in new_rows)
+        assert all(not r["regressed"] for r in new_rows)
+
+    def test_fresh_only_scenario_identical_is_enforced(self):
+        from repro.bench import compare_perf_core
+
+        base = self._doc(1.0, {"mix": (0.5, 2.0)})
+        fresh = self._doc(1.0, {"mix": (0.5, 2.0)})
+        fresh["scenarios"]["soa_sweep"] = {
+            "wall_s_fast": 0.3, "wall_s_slow": 1.0, "identical": False}
+        regressions, _ = compare_perf_core(fresh, base)
+        assert any("soa_sweep" in r and "identical" in r
+                   for r in regressions)
+
+    def test_render_compare_new_basis_rows(self):
+        from repro.bench import compare_perf_core, render_compare
+
+        base = self._doc(1.0, {"mix": (0.5, 2.0)})
+        fresh = self._doc(1.0, {"mix": (0.5, 2.0),
+                                "soa_sweep": (0.3, 1.0)})
+        regressions, rows = compare_perf_core(fresh, base)
+        rendered = render_compare(regressions, rows)
+        assert "soa_sweep" in rendered
+        assert "note: scenario 'soa_sweep' absent from baseline" in rendered
+        # New rows must not drag the header basis to "mixed".
+        assert "calibrated ratios" in rendered
+        assert "OK: no regressions" in rendered
+
+    def test_render_compare_mixed_basis_with_new_rows(self):
+        from repro.bench import compare_perf_core, render_compare
+
+        calibrated = self._doc(1.0, {"mix": (0.5, 2.0)})
+        uncalibrated = self._doc(0.0, {"mix": (0.5, 2.0)})
+        _, rows_cal = compare_perf_core(calibrated, calibrated)
+        _, rows_raw = compare_perf_core(calibrated, uncalibrated)
+        base = self._doc(1.0, {"mix": (0.5, 2.0)})
+        fresh = self._doc(1.0, {"mix": (0.5, 2.0),
+                                "soa_sweep": (0.3, 1.0)})
+        _, rows = compare_perf_core(fresh, base)
+        new_rows = [r for r in rows if r["basis"] == "new"]
+        rendered = render_compare([], rows_cal + rows_raw + new_rows)
+        assert "mixed-basis ratios" in rendered
+        assert "(calibrated)" in rendered and "(raw)" in rendered
+        assert "soa_sweep" in rendered
 
     def test_cli_gate_exit_codes(self, tmp_path, capsys, monkeypatch):
         from repro.cli import main
