@@ -29,6 +29,7 @@ topology [--capacity]   show a platform's geometry and power envelope
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -220,6 +221,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(render_perf_core(document))
     if args.out:
         print(f"wrote {args.out}")
+    if args.profile:
+        from repro.bench import profile_slowest
+
+        profiled, path = profile_slowest(document, args.profile,
+                                         full=args.full)
+        print(f"profiled {profiled} (slowest scenario) -> {path}")
     if not all_identical(document):
         print("error: fast-forward output diverged from the per-epoch "
               "reference path", file=sys.stderr)
@@ -246,10 +253,13 @@ def cmd_figures(args: argparse.Namespace) -> int:
                   f"try: {', '.join(runners)}", file=sys.stderr)
             return 2
         names = list(args.only)
+    workers = args.workers
+    if workers is None:
+        workers = int(os.environ.get("GREENDIMM_FIGURES_WORKERS") or 1)
     suite = run_suite(names, action=args.action, fast=args.fast,
                       expected_dir=args.expected_dir,
                       report_dir=args.report_dir,
-                      all_names=list(runners))
+                      all_names=list(runners), workers=workers)
     print(render_suite(suite))
     for outcome in suite.outcomes:
         if outcome.report_path is not None:
@@ -504,6 +514,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--threshold", type=float, default=0.15,
                          help="calibrated slowdown tolerated by --compare "
                               "(0.15 = 15%%)")
+    bench_p.add_argument("--profile", default=None, metavar="FILE",
+                         const="bench_profile.pstats", nargs="?",
+                         help="cProfile the slowest scenario and write "
+                              "the stats dump here (for snakeviz/pstats)")
     bench_p.set_defaults(func=cmd_bench)
 
     figures_p = sub.add_parser(
@@ -525,6 +539,11 @@ def build_parser() -> argparse.ArgumentParser:
     figures_p.add_argument("--report-dir", default=None, metavar="DIR",
                            help="per-figure REPORT.md output "
                                 "(default: reports/figures)")
+    figures_p.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="fan the figures out over N processes "
+                                "(default: $GREENDIMM_FIGURES_WORKERS or 1; "
+                                "outcomes and reports are byte-identical "
+                                "to a serial run)")
     figures_p.set_defaults(func=cmd_figures)
 
     faults_p = sub.add_parser(

@@ -29,7 +29,7 @@ import json
 import pathlib
 import re
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.common import ExperimentResult
@@ -311,56 +311,79 @@ class SuiteOutcome:
         return not self.failures
 
 
+def _suite_item(item: Tuple[str, str, bool, str, str]) -> FigureOutcome:
+    """Run one figure through the suite (the :func:`fan_out` unit).
+
+    Module-level and fed a tuple of primitives so it can cross the
+    process boundary under ``--workers N``.  Everything the outcome and
+    its ``REPORT.md`` contain is a deterministic function of this one
+    item, which is what makes the parallel suite byte-identical to the
+    serial one: each worker writes its own figure's report, and no
+    report depends on any other figure's result.
+    """
+    name, action, fast, expected_dir_s, report_dir_s = item
+    from repro.experiments.registry import run_experiment
+
+    expected_dir = pathlib.Path(expected_dir_s)
+    report_dir = pathlib.Path(report_dir_s)
+    mode = "fast" if fast else "full"
+    outcome = FigureOutcome(name=name, file_id=file_id(name))
+    pin = expected_path(expected_dir, name)
+    try:
+        outcome.result = run_experiment(name, fast=fast)
+        if action == "bless":
+            write_expectation(pin, outcome.result, mode=mode)
+            outcome.blessed = True
+            outcome.expectation = load_expectation(pin)
+            outcome.diffs = compare_measured(outcome.expectation,
+                                             outcome.result)
+        elif pin.exists():
+            outcome.expectation = load_expectation(pin)
+            if outcome.expectation.get("mode", mode) != mode:
+                outcome.error = (
+                    f"expectation pinned in "
+                    f"{outcome.expectation.get('mode')!r} mode but this "
+                    f"run is {mode!r} — rerun with matching --fast")
+            else:
+                outcome.diffs = compare_measured(outcome.expectation,
+                                                 outcome.result)
+    except Exception as err:  # noqa: BLE001 — one figure must not
+        # take down the rest of the suite; the error is the outcome.
+        outcome.error = f"{type(err).__name__}: {err}"
+    target = report_dir / outcome.file_id / "REPORT.md"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(build_figure_report(outcome, fast))
+    outcome.report_path = target
+    return outcome
+
+
 def run_suite(names: Sequence[str], action: str = "check",
               fast: bool = True,
               expected_dir: Optional[pathlib.Path] = None,
               report_dir: Optional[pathlib.Path] = None,
-              all_names: Optional[Sequence[str]] = None) -> SuiteOutcome:
+              all_names: Optional[Sequence[str]] = None,
+              workers: int = 1) -> SuiteOutcome:
     """Run the figure suite over *names*.
 
     *action* is ``run`` (regenerate + report), ``check`` (also gate), or
     ``bless`` (re-pin expectations from this run).  *all_names* is the
     full registry — staleness is judged against it, and against *names*
     only when a subset was requested (a partial run must not flag the
-    rest of the suite's files as stale).
+    rest of the suite's files as stale).  *workers* > 1 fans the
+    figures out over a process pool (:func:`repro.runner.fan_out`); the
+    experiments are seeded and independent, so outcomes, exit status,
+    and every ``REPORT.md`` are byte-identical to a serial run.
     """
     if action not in ("run", "check", "bless"):
         raise ConfigurationError(f"unknown figures action {action!r}")
-    from repro.experiments.registry import run_experiment
+    from repro.runner import fan_out
 
     expected_dir = pathlib.Path(expected_dir or default_expected_dir())
     report_dir = pathlib.Path(report_dir or default_report_dir())
-    mode = "fast" if fast else "full"
-    outcomes: List[FigureOutcome] = []
-    for name in names:
-        outcome = FigureOutcome(name=name, file_id=file_id(name))
-        pin = expected_path(expected_dir, name)
-        try:
-            outcome.result = run_experiment(name, fast=fast)
-            if action == "bless":
-                write_expectation(pin, outcome.result, mode=mode)
-                outcome.blessed = True
-                outcome.expectation = load_expectation(pin)
-                outcome.diffs = compare_measured(outcome.expectation,
-                                                 outcome.result)
-            elif pin.exists():
-                outcome.expectation = load_expectation(pin)
-                if outcome.expectation.get("mode", mode) != mode:
-                    outcome.error = (
-                        f"expectation pinned in "
-                        f"{outcome.expectation.get('mode')!r} mode but this "
-                        f"run is {mode!r} — rerun with matching --fast")
-                else:
-                    outcome.diffs = compare_measured(outcome.expectation,
-                                                     outcome.result)
-        except Exception as err:  # noqa: BLE001 — one figure must not
-            # take down the rest of the suite; the error is the outcome.
-            outcome.error = f"{type(err).__name__}: {err}"
-        target = report_dir / outcome.file_id / "REPORT.md"
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(build_figure_report(outcome, fast))
-        outcome.report_path = target
-        outcomes.append(outcome)
+    items = [(name, action, fast, str(expected_dir), str(report_dir))
+             for name in names]
+    outcomes = fan_out(_suite_item, items, workers=workers,
+                       label=lambda item: item[0])
     stale = stale_expectations(expected_dir, list(all_names or names))
     return SuiteOutcome(outcomes=outcomes, stale=stale, action=action)
 

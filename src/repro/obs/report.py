@@ -168,8 +168,12 @@ def build_report(events: Sequence[Dict[str, object]],
             perf = job.get("perf") or {}
             stepped = int(perf.get("epochs_stepped", 0))
             skipped = int(perf.get("epochs_fast_forwarded", 0))
-            epochs = (f"{skipped}/{stepped + skipped} ff"
-                      if stepped + skipped else "—")
+            batched = int(perf.get("epochs_batched", 0))
+            total = stepped + skipped
+            epochs = f"{skipped}/{total} ff" if total else "—"
+            if batched:
+                # Stable-span epochs: stepped, but evaluated in bulk.
+                epochs += f" +{batched} sp"
             faults = sum((job.get("faults") or {}).values())
             rows.append((
                 job.get("experiment", "?"),

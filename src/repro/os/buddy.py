@@ -10,11 +10,20 @@ migration empties the rest of the range).
 Allocation prefers the lowest available address.  That mirrors the
 practical behaviour that makes off-lining effective: used memory packs
 toward low frames, leaving high blocks entirely free.
+
+Every free list is kept as a sorted ascending list beside its
+authoritative set.  Which pfn an allocation receives depends only on the
+free list's *contents* (always the lowest address), so the sorted
+representation hands out exactly the pfns a heap would — while making
+the hot bulk operations (grabbing the k lowest max-order blocks,
+isolating a block-aligned range, counting free pages in a range) single
+C-level slice operations instead of per-entry heap pops with lazy
+stale-entry skipping.
 """
 
 from __future__ import annotations
 
-import heapq
+from bisect import bisect_left
 from typing import Dict, List, Set, Tuple
 
 from repro.errors import AllocationError, ConfigurationError
@@ -41,45 +50,39 @@ class BuddyAllocator:
         self.total_pages = total_pages
         self.max_order = max_order
         self._free_sets: List[Set[int]] = [set() for _ in range(max_order + 1)]
-        self._heaps: List[List[int]] = [[] for _ in range(max_order + 1)]
+        #: Ascending sorted mirror of each free set — no stale entries,
+        #: ever: every mutation updates set and list together.
+        self._sorted: List[List[int]] = [[] for _ in range(max_order + 1)]
         self._allocated: Dict[int, int] = {}  # pfn -> order
-        # Bulk-seed the max-order free list (pushing ascending pfns one
-        # at a time builds exactly this sorted list, so the state is the
-        # same as repeated _insert calls).
         pfns = range(start_pfn, start_pfn + total_pages, block)
         self._free_sets[max_order] = set(pfns)
-        self._heaps[max_order] = list(pfns)
+        self._sorted[max_order] = list(pfns)
         self._free_pages = total_pages
 
     # --- internal free-list maintenance -------------------------------------
 
     def _insert(self, order: int, pfn: int) -> None:
         self._free_sets[order].add(pfn)
-        heapq.heappush(self._heaps[order], pfn)
+        lst = self._sorted[order]
+        lst.insert(bisect_left(lst, pfn), pfn)
         self._free_pages += 1 << order
 
     def _discard(self, order: int, pfn: int) -> None:
-        """Remove a specific free block (heap entry stays, lazily skipped)."""
+        """Remove a specific free block."""
         self._free_sets[order].remove(pfn)
+        lst = self._sorted[order]
+        del lst[bisect_left(lst, pfn)]
         self._free_pages -= 1 << order
 
     def _pop_lowest(self, order: int) -> int:
         """Pop the lowest-address free block of *order*."""
-        heap, live = self._heaps[order], self._free_sets[order]
-        while heap:
-            pfn = heapq.heappop(heap)
-            if pfn in live:
-                live.remove(pfn)
-                self._free_pages -= 1 << order
-                self._maybe_compact(order)
-                return pfn
-        raise AllocationError(f"no free block of order {order}")
-
-    def _maybe_compact(self, order: int) -> None:
-        """Rebuild a heap when stale entries dominate it."""
-        heap, live = self._heaps[order], self._free_sets[order]
-        if len(heap) > 4 * len(live) + 64:
-            self._heaps[order] = sorted(live)
+        lst = self._sorted[order]
+        if not lst:
+            raise AllocationError(f"no free block of order {order}")
+        pfn = lst.pop(0)
+        self._free_sets[order].remove(pfn)
+        self._free_pages -= 1 << order
+        return pfn
 
     # --- public queries -------------------------------------------------------
 
@@ -133,10 +136,9 @@ class BuddyAllocator:
         grabbed: List[Tuple[int, int]] = []
         remaining = count
         free_sets = self._free_sets
-        heaps = self._heaps
+        sorted_ = self._sorted
         allocated = self._allocated
         max_order = self.max_order
-        heappop, heappush = heapq.heappop, heapq.heappush
         try:
             while remaining > 0:
                 # Free-list scan instead of exception-driven fallback:
@@ -158,27 +160,17 @@ class BuddyAllocator:
                     source = order
                 if source == order == max_order:
                     # Bulk grab: a large request consumes a run of
-                    # max-order blocks, and taking each through the
-                    # full split-scan below is all Python-loop
-                    # overhead.  k pops off the heap (skipping stale
-                    # entries) return exactly the ascending pfns that k
-                    # successive _pop_lowest calls would.
+                    # max-order blocks.  The k lowest live pfns are the
+                    # sorted list's leading slice — one copy plus one
+                    # C-level delete, where the old heap walked them one
+                    # lazy pop at a time.
                     live = free_sets[max_order]
                     k = min(remaining >> max_order, len(live))
                     if k >= 8:
-                        heap = heaps[max_order]
-                        batch: List[int] = []
-                        append = batch.append
-                        need = k
-                        while need:
-                            pfn = heappop(heap)
-                            # Remove from the live set immediately — a
-                            # re-freed pfn can have two heap entries, and
-                            # only the first may count.
-                            if pfn in live:
-                                live.remove(pfn)
-                                append(pfn)
-                                need -= 1
+                        lst = sorted_[max_order]
+                        batch = lst[:k]
+                        del lst[:k]
+                        live.difference_update(batch)
                         self._free_pages -= k << max_order
                         allocated.update(dict.fromkeys(batch, max_order))
                         grabbed.extend((pfn, max_order) for pfn in batch)
@@ -186,20 +178,16 @@ class BuddyAllocator:
                         continue
                 # Inlined _pop_lowest / _insert (this loop allocates one
                 # buddy block per extent, so call overhead adds up).
-                heap, live = heaps[source], free_sets[source]
-                while True:
-                    pfn = heappop(heap)
-                    if pfn in live:
-                        break
-                live.remove(pfn)
+                lst = sorted_[source]
+                pfn = lst.pop(0)
+                free_sets[source].remove(pfn)
                 self._free_pages -= 1 << source
-                if len(heap) > 4 * len(live) + 64:
-                    heaps[source] = sorted(live)
                 while source > order:
                     source -= 1
                     half = pfn + (1 << source)
                     free_sets[source].add(half)
-                    heappush(heaps[source], half)
+                    half_lst = sorted_[source]
+                    half_lst.insert(bisect_left(half_lst, half), half)
                     self._free_pages += 1 << source
                 allocated[pfn] = order
                 grabbed.append((pfn, order))
@@ -220,6 +208,7 @@ class BuddyAllocator:
                 f"free of pfn {pfn} order {order} does not match allocation "
                 f"({recorded})")
         free_sets = self._free_sets
+        sorted_ = self._sorted
         max_order = self.max_order
         while order < max_order:
             buddy = pfn ^ (1 << order)
@@ -227,6 +216,8 @@ class BuddyAllocator:
             if buddy not in live:
                 break
             live.remove(buddy)
+            lst = sorted_[order]
+            del lst[bisect_left(lst, buddy)]
             self._free_pages -= 1 << order
             if buddy < pfn:
                 pfn = buddy
@@ -238,10 +229,9 @@ class BuddyAllocator:
 
         Max-order blocks have no buddy to coalesce with, so freeing one
         is exactly an insert — which makes a batch equivalent to
-        repeated :meth:`free_block` calls in any order, with the
-        per-block heap pushes replaced by one extend + heapify.  (The
-        heap's internal arrangement differs, but pops depend only on its
-        contents.)
+        repeated :meth:`free_block` calls in any order.  The merged
+        sorted list is rebuilt with one extend + sort (timsort exploits
+        the existing runs).
         """
         allocated = self._allocated
         order = self.max_order
@@ -252,9 +242,9 @@ class BuddyAllocator:
                     f"free of pfn {pfn} order {order} does not match "
                     f"allocation ({recorded})")
         self._free_sets[order].update(pfns)
-        heap = self._heaps[order]
-        heap.extend(pfns)
-        heapq.heapify(heap)
+        lst = self._sorted[order]
+        lst.extend(pfns)
+        lst.sort()
         self._free_pages += len(pfns) << order
 
     # --- isolation for memory off-lining ---------------------------------------
@@ -271,27 +261,33 @@ class BuddyAllocator:
         block = 1 << self.max_order
         if start_pfn % block or count % block:
             raise ConfigurationError("isolation range must be block aligned")
+        end = start_pfn + count
         # Fully-free range fast path: eager coalescing means a free
         # aligned range consists of exactly its max-order blocks, so if
         # every max-order position is live nothing else can be (any
         # other free block would overlap one).  This is the common case
-        # — the daemon prefers off-lining free blocks — and skips the
-        # per-order scan.
+        # — the daemon prefers off-lining free blocks — and both the
+        # check and the removal are single slice operations.
         top_live = self._free_sets[self.max_order]
-        positions = range(start_pfn, start_pfn + count, block)
+        positions = range(start_pfn, end, block)
         if top_live.issuperset(positions):
             top_live.difference_update(positions)
+            lst = self._sorted[self.max_order]
+            del lst[bisect_left(lst, start_pfn):bisect_left(lst, end)]
             self._free_pages -= count
             return [(pfn, self.max_order) for pfn in positions]
         removed: List[Tuple[int, int]] = []
         for order in range(self.max_order + 1):
-            live = self._free_sets[order]
-            if not live:
+            lst = self._sorted[order]
+            if not lst:
                 continue
-            found = self._free_in_range(order, start_pfn, count)
-            if not found:
+            i = bisect_left(lst, start_pfn)
+            j = bisect_left(lst, end, i)
+            if i == j:
                 continue
-            live.difference_update(found)
+            found = lst[i:j]
+            del lst[i:j]
+            self._free_sets[order].difference_update(found)
             self._free_pages -= len(found) << order
             removed.extend((pfn, order) for pfn in found)
         return removed
@@ -299,18 +295,12 @@ class BuddyAllocator:
     def _free_in_range(self, order: int, start_pfn: int, count: int) -> List[int]:
         """Free blocks of *order* lying inside a range.
 
-        Iterates whichever is smaller — the candidate positions in the
-        range or the free list itself — so isolating a multi-GiB block
-        stays cheap even with 4KiB pages.
+        The sorted list makes this a bisect-bounded slice — O(log n +
+        found) regardless of range size or list population.
         """
-        size = 1 << order
-        live = self._free_sets[order]
-        candidates = count // size
-        if len(live) <= candidates:
-            end = start_pfn + count
-            return [pfn for pfn in live if start_pfn <= pfn < end]
-        first = start_pfn + (-start_pfn % size)
-        return [pfn for pfn in range(first, start_pfn + count, size) if pfn in live]
+        lst = self._sorted[order]
+        i = bisect_left(lst, start_pfn)
+        return lst[i:bisect_left(lst, start_pfn + count, i)]
 
     def undo_isolation(self, removed: List[Tuple[int, int]]) -> None:
         """Return blocks taken by :meth:`isolate_range` to the free lists."""
@@ -320,8 +310,11 @@ class BuddyAllocator:
     def free_pages_in_range(self, start_pfn: int, count: int) -> int:
         """Count free-list pages inside a range (used by removable checks)."""
         total = 0
+        end = start_pfn + count
         for order in range(self.max_order + 1):
-            total += len(self._free_in_range(order, start_pfn, count)) << order
+            lst = self._sorted[order]
+            i = bisect_left(lst, start_pfn)
+            total += (bisect_left(lst, end, i) - i) << order
         return total
 
     def add_range(self, start_pfn: int, count: int) -> None:
@@ -331,9 +324,9 @@ class BuddyAllocator:
             raise ConfigurationError("range must be block aligned")
         pfns = range(start_pfn, start_pfn + count, block)
         self._free_sets[self.max_order].update(pfns)
-        heap = self._heaps[self.max_order]
-        for pfn in pfns:
-            heapq.heappush(heap, pfn)
+        lst = self._sorted[self.max_order]
+        lst.extend(pfns)
+        lst.sort()
         self._free_pages += count
 
     def split_allocated(self, pfn: int, order: int) -> None:

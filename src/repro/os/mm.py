@@ -193,10 +193,17 @@ class PhysicalMemoryManager:
         owner_set = self._owners.setdefault(owner_id, set())
         owner_set.update(pfns)
         owner_heap = self._owner_maxheaps.setdefault(owner_id, [])
-        owner_heap.extend(map(int.__neg__, pfns))
-        # One heapify instead of a push per extent: the heap's contents
-        # (which alone determine its pop sequence) are the same either way.
-        heapq.heapify(owner_heap)
+        # The heap's contents alone determine its pop sequence (repeated
+        # heappop yields ascending order whatever the tree shape), so any
+        # insertion strategy is equivalent: k pushes cost O(k log n) and
+        # win for the small ramp-epoch deltas, one heapify costs O(n)
+        # and wins for bulk loads.
+        if len(pfns) * 8 < len(owner_heap):
+            for pfn in pfns:
+                heapq.heappush(owner_heap, -pfn)
+        else:
+            owner_heap.extend(map(int.__neg__, pfns))
+            heapq.heapify(owner_heap)
         block_list = self._blocks
         block_pages = self.block_pages
         dirty = self.soa._dirty
@@ -423,26 +430,28 @@ class PhysicalMemoryManager:
         """
         zone = self._zone_of(extent.pfn)
         self._unregister(extent)
-        current = extent
+        allocator = zone.allocator
+        pfn = extent.pfn
+        order = extent.order
         remaining = n_pages
+        # Track the current piece as (pfn, order) and only materialize a
+        # PageExtent for pieces that are actually kept — the freed high
+        # halves and the still-splitting piece never need one.
         while remaining > 0:
-            zone.allocator.split_allocated(current.pfn, current.order)
-            half_order = current.order - 1
-            half_pages = 1 << half_order
-            low = PageExtent(current.pfn, half_order, current.owner_id,
-                             current.kind, current.mergeable,
-                             current.ksm_shared)
-            high = PageExtent(current.pfn + half_pages, half_order,
-                              current.owner_id, current.kind,
-                              current.mergeable, current.ksm_shared)
+            allocator.split_allocated(pfn, order)
+            order -= 1
+            half_pages = 1 << order
             if remaining >= half_pages:
-                zone.allocator.free_block(high.pfn, half_order)
+                allocator.free_block(pfn + half_pages, order)
                 remaining -= half_pages
-                current = low
             else:
-                self._register(low)
-                current = high
-        self._register(current)
+                self._register(PageExtent(pfn, order, extent.owner_id,
+                                          extent.kind, extent.mergeable,
+                                          extent.ksm_shared))
+                pfn += half_pages
+        self._register(PageExtent(pfn, order, extent.owner_id,
+                                  extent.kind, extent.mergeable,
+                                  extent.ksm_shared))
         return n_pages
 
     def free_all(self, owner_id: str) -> int:

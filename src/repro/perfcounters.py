@@ -23,6 +23,10 @@ class PerfCounters:
     epochs_stepped: int = 0
     epochs_fast_forwarded: int = 0
     fast_forward_windows: int = 0
+    #: Stepped epochs the span planner executed in bulk (a subset of
+    #: ``epochs_stepped``) and the stable spans that batched them.
+    epochs_batched: int = 0
+    stable_spans: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Non-zero counters only, so quiet jobs emit nothing."""
@@ -32,6 +36,8 @@ class PerfCounters:
             "epochs_stepped": self.epochs_stepped,
             "epochs_fast_forwarded": self.epochs_fast_forwarded,
             "fast_forward_windows": self.fast_forward_windows,
+            "epochs_batched": self.epochs_batched,
+            "stable_spans": self.stable_spans,
         }
         return {key: value for key, value in fields.items() if value}
 
@@ -41,6 +47,8 @@ class PerfCounters:
         self.epochs_stepped = 0
         self.epochs_fast_forwarded = 0
         self.fast_forward_windows = 0
+        self.epochs_batched = 0
+        self.stable_spans = 0
 
 
 #: The process-wide accumulator the hot paths increment directly.

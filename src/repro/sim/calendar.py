@@ -59,3 +59,23 @@ class EventCalendar:
         while heap and heap[0] <= now_s:
             heapq.heappop(heap)
         return heap[0] if heap else math.inf
+
+
+def intersect_horizons(now_s: float, *bounds: float) -> float:
+    """Merge several horizon bounds under veto semantics.
+
+    Every horizon in this codebase speaks the same protocol: a value
+    strictly greater than *now_s* promises nothing happens before it,
+    while a value at or below *now_s* is a veto ("activity right now").
+    The intersection is the smallest promise — unless any input vetoes,
+    in which case the merged horizon vetoes too.  The span planner uses
+    this to fold the workload-side stability bound, the fault injector's
+    ``quiescent_until``, and the run duration into one span end.
+    """
+    merged = math.inf
+    for bound in bounds:
+        if bound <= now_s:
+            return now_s
+        if bound < merged:
+            merged = bound
+    return merged

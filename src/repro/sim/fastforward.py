@@ -52,11 +52,18 @@ class SimClock:
 
 @dataclass
 class FastForwardStats:
-    """Per-run accounting of the fast-forward layer."""
+    """Per-run accounting of the fast-forward and span-planner layers."""
 
     windows: int = 0
     epochs_fast_forwarded: int = 0
     epochs_stepped: int = 0
+    #: Stable stepped spans the span planner executed as one batch.
+    spans_stable: int = 0
+    #: Epochs executed inside stable spans.  These are *also* counted in
+    #: ``epochs_stepped`` — a batched epoch is a stepped epoch that was
+    #: evaluated in bulk, not a skipped one — which keeps ``as_dict()``
+    #: (pinned by the golden kernel recordings) unchanged by batching.
+    epochs_batched: int = 0
 
     @property
     def epochs_total(self) -> int:
@@ -67,10 +74,26 @@ class FastForwardStats:
         total = self.epochs_total
         return self.epochs_fast_forwarded / total if total else 0.0
 
+    @property
+    def epochs_dynamic(self) -> int:
+        """Epochs that truly stepped the full stack one at a time."""
+        return self.epochs_stepped - self.epochs_batched
+
     def as_dict(self) -> Dict[str, int]:
         return {"windows": self.windows,
                 "epochs_fast_forwarded": self.epochs_fast_forwarded,
                 "epochs_stepped": self.epochs_stepped}
+
+    def span_counters(self) -> Dict[str, int]:
+        """The span-planner view: quiescent / batched / dynamic epochs.
+
+        Kept out of :meth:`as_dict` deliberately — that dict's keys and
+        values are pinned bit-for-bit by the golden kernel recordings.
+        """
+        return {"spans_quiescent": self.windows,
+                "spans_stable": self.spans_stable,
+                "epochs_batched": self.epochs_batched,
+                "epochs_dynamic": self.epochs_dynamic}
 
 
 def quiescent_horizon(system: "GreenDIMMSystem", now_s: float) -> float:

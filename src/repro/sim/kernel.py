@@ -53,14 +53,26 @@ from repro.obs.residency import ResidencyStats
 from repro.obs.tracer import GLOBAL_TRACER as TRACER
 from repro.os.hotplug import HotplugStats
 from repro.power.model import PowerCacheStats
-from repro.sim.calendar import EventCalendar
+from repro.sim.calendar import EventCalendar, intersect_horizons
 from repro.sim.fastforward import FastForwardStats, SimClock, quiescent_horizon
+from repro.soa import (
+    accumulate_energy,
+    batched_times,
+    emit_replicated,
+    monitor_timer_after,
+)
 from repro.units import PAGE_SIZE, PEAK_DRAM_BANDWIDTH_BYTES_PER_S
 from repro.workloads.azure import AzureTrace
 from repro.workloads.profiles import WorkloadProfile
 
 if TYPE_CHECKING:
     from repro.sim.server import ServerSimulator
+
+#: Free pages the swap-in fault path refuses to dip below (mirrors the
+#: kernel keeping a reclaim reserve).  Owned here rather than in
+#: ``repro.sim.server`` so the sources' ``stable_until`` reasoning and
+#: ``ServerSimulator._try_swap_in`` share one definition.
+SWAP_IN_RESERVE_PAGES = 2048
 
 
 # --- process-wide fast-forward default --------------------------------------
@@ -144,6 +156,16 @@ class WorkloadSource(Protocol):
     it; return *t* itself to veto fast-forwarding this epoch.  The
     kernel intersects the workload horizon with the system-side
     :func:`~repro.sim.fastforward.quiescent_horizon`.
+
+    :meth:`stable_until` is the span planner's weaker contract: a bound
+    before which — assuming physical memory state does not change in
+    ``[t, bound)`` — every :meth:`apply` call is a strict no-op (no
+    allocation, free, swap, or RNG draw) and :meth:`operating_point` is
+    constant.  Unlike :meth:`horizon` it does *not* promise the system
+    side is quiescent: the daemon's monitor may be armed, so the planner
+    separately caps each span before the monitor timer can fire.  Any
+    valid ``horizon`` is a valid (conservative) ``stable_until``, which
+    is the fallback the kernel uses for sources that don't implement it.
     """
 
     duration_s: float
@@ -160,6 +182,11 @@ class WorkloadSource(Protocol):
     def horizon(self, t: float) -> float:
         """Earliest future workload-side activity (*t* itself: none now)."""
 
+    def stable_until(self, t: float) -> float:
+        """Bound before which :meth:`apply` is provably a strict no-op
+        and the operating point constant (*t* itself: not provable now),
+        given unchanged physical memory state."""
+
 
 # --- concrete sources --------------------------------------------------------
 
@@ -173,6 +200,10 @@ class ProfileSource:
     n_copies: int = 1
     owner: str = "app"
     shortfall_pages: int = field(default=0, init=False)
+    #: One-entry memo of ``footprint.at``: apply/horizon/stable_until all
+    #: ask for the target at the same epoch time (``at`` is pure in t).
+    _target_cache: Tuple[float, int] = field(default=(math.nan, 0),
+                                             init=False, repr=False)
 
     def __post_init__(self) -> None:
         self.duration_s = self.profile.duration_s
@@ -188,7 +219,12 @@ class ProfileSource:
             self.profile.footprint.flat_run_ends())
 
     def _target_pages(self, t: float) -> int:
-        return self.profile.footprint.at(t) * self.n_copies // PAGE_SIZE
+        cached_t, cached = self._target_cache
+        if t == cached_t:
+            return cached
+        target = self.profile.footprint.at(t) * self.n_copies // PAGE_SIZE
+        self._target_cache = (t, target)
+        return target
 
     def prepare(self) -> None:
         initial = self._target_pages(0.0)
@@ -204,6 +240,24 @@ class ProfileSource:
 
     def horizon(self, t: float) -> float:
         if not self.sim._owner_steady(self.owner, self._target_pages(t)):
+            return t
+        if self.profile.footprint.ramping_at(t):
+            return t
+        return self._flat_calendar.next_after(t)
+
+    def stable_until(self, t: float) -> float:
+        # apply() resolves to _resize_owner(owner, target, t); that is a
+        # strict no-op on the `target == resident + held` branch provided
+        # _try_swap_in also no-ops, i.e. nothing is held or free memory
+        # sits at/below the swap-in reserve.  Free pages cannot change
+        # inside a non-churn stable span, so the condition holds for the
+        # whole flat run, not just at t.
+        sim = self.sim
+        mm = sim.system.mm
+        held = sim.swap.held_for(self.owner)
+        if self._target_pages(t) != mm.owner_pages(self.owner) + held:
+            return t
+        if held and mm.free_pages > SWAP_IN_RESERVE_PAGES:
             return t
         if self.profile.footprint.ramping_at(t):
             return t
@@ -269,6 +323,13 @@ class TraceSource:
             return t if next_event_s <= t else next_event_s
         return math.inf
 
+    def stable_until(self, t: float) -> float:
+        # Between events apply() is a pure cursor peek — a strict no-op
+        # no matter what memory does — and running-VM count (hence the
+        # operating point) only moves at events, so the stability bound
+        # *is* the horizon.
+        return self.horizon(t)
+
 
 @dataclass
 class MixSource:
@@ -298,6 +359,19 @@ class MixSource:
         self._flat_calendar = EventCalendar(
             end for p in self.profiles
             for end in p.footprint.flat_run_ends(p.duration_s))
+        #: One-entry memo of every owner's target at t (aligned with the
+        #: ``owners`` iteration order): apply/horizon/stable_until all
+        #: read the same epoch time and ``at`` is pure in t.
+        self._target_cache: Tuple[float, List[int]] = (math.nan, [])
+
+    def _targets(self, t: float) -> List[int]:
+        cached_t, targets = self._target_cache
+        if t != cached_t:
+            targets = [
+                profile.footprint.at(min(t, profile.duration_s)) // PAGE_SIZE
+                for profile in self.owners.values()]
+            self._target_cache = (t, targets)
+        return targets
 
     def prepare(self) -> None:
         for owner, profile in self.owners.items():
@@ -306,9 +380,8 @@ class MixSource:
                 self.sim._resize_owner(owner, initial, 0.0)
 
     def apply(self, t: float) -> None:
-        for owner, profile in self.owners.items():
-            target = profile.footprint.at(min(t, profile.duration_s))
-            self.sim._resize_owner(owner, target // PAGE_SIZE, t)
+        for owner, target in zip(self.owners, self._targets(t)):
+            self.sim._resize_owner(owner, target, t)
 
     def operating_point(self, t: float) -> Tuple[float, float]:
         return self._bandwidth, self._row_miss
@@ -318,9 +391,30 @@ class MixSource:
         # dynamic); every veto path returns exactly t, so check order
         # cannot change the value.  The surviving bound comes from the
         # precomputed merged calendar.
-        for owner, profile in self.owners.items():
-            target = profile.footprint.at(min(t, profile.duration_s))
-            if not self.sim._owner_steady(owner, target // PAGE_SIZE):
+        targets = self._targets(t)
+        for (owner, profile), target in zip(self.owners.items(), targets):
+            if not self.sim._owner_steady(owner, target):
+                return t
+            if t >= profile.duration_s:
+                continue  # clamped at its final footprint forever
+            if profile.footprint.ramping_at(t):
+                return t
+        return self._flat_calendar.next_after(t)
+
+    def stable_until(self, t: float) -> float:
+        # Per-owner mirror of ProfileSource.stable_until: each resize is
+        # a strict no-op when the target matches resident + held and the
+        # swap-in fault path cannot fire (nothing held, or free at/below
+        # the reserve — free is read once, it cannot change mid-check).
+        sim = self.sim
+        mm = sim.system.mm
+        free = mm.free_pages
+        targets = self._targets(t)
+        for (owner, profile), target in zip(self.owners.items(), targets):
+            held = sim.swap.held_for(owner)
+            if target != mm.owner_pages(owner) + held:
+                return t
+            if held and free > SWAP_IN_RESERVE_PAGES:
                 return t
             if t >= profile.duration_s:
                 continue  # clamped at its final footprint forever
@@ -370,6 +464,8 @@ class EpochKernel:
         counters.epochs_stepped += stats.epochs_stepped
         counters.epochs_fast_forwarded += stats.epochs_fast_forwarded
         counters.fast_forward_windows += stats.windows
+        counters.epochs_batched += stats.epochs_batched
+        counters.stable_spans += stats.spans_stable
 
     # --- sampling ---------------------------------------------------------
 
@@ -517,46 +613,14 @@ class EpochKernel:
                     break
                 pad *= 2
             n = int(np.searchsorted(times, end_s, side="left"))
-            make = EpochSample._make
-            samples += [make((t, used, free, offline, dpd, power_w))
-                        for t in times[:n].tolist()]
+            emit_replicated(samples, times[:n].tolist(), template)
             if n:
-                de = power_w * epoch_s
-                be = baseline_w * epoch_s
-                acc = np.empty(n + 1, dtype=np.float64)
-                acc[0] = dram_energy
-                acc[1:] = de
-                dram_energy = float(np.add.accumulate(acc)[-1])
-                acc[0] = baseline_energy
-                acc[1:] = be
-                baseline_energy = float(np.add.accumulate(acc)[-1])
-                # Monitor timer: `since += epoch_s; if since >= period:
-                # since = 0.0` is periodic, so only two add chains are
-                # needed — phase A from the carried-in value to the first
-                # reset, phase B the steady cycle from 0.0 (0.0 + epoch_s
-                # == epoch_s exactly, so the chain starts bit-equal) —
-                # and the final value falls out of the cycle remainder.
-                acc[0] = daemon._since_monitor_s
-                phase_a = np.add.accumulate(acc)
-                hits = np.nonzero(phase_a[1:] >= period)[0]
-                if hits.size == 0:
-                    since = float(phase_a[n])
-                else:
-                    rest = n - (int(hits[0]) + 1)  # epochs after 1st reset
-                    if rest == 0:
-                        since = 0.0
-                    else:
-                        phase_b = np.add.accumulate(
-                            np.full(rest, epoch_s, dtype=np.float64))
-                        hits_b = np.nonzero(phase_b >= period)[0]
-                        if hits_b.size == 0:
-                            since = float(phase_b[rest - 1])
-                        else:
-                            cycle = int(hits_b[0]) + 1
-                            part = rest % cycle
-                            since = 0.0 if part == 0 \
-                                else float(phase_b[part - 1])
-                daemon._since_monitor_s = since
+                dram_energy = accumulate_energy(
+                    dram_energy, power_w * epoch_s, n)
+                baseline_energy = accumulate_energy(
+                    baseline_energy, baseline_w * epoch_s, n)
+                daemon._since_monitor_s = monitor_timer_after(
+                    daemon._since_monitor_s, epoch_s, period, n)
             clock.now_s = float(times[n])
             stats.epochs_fast_forwarded += n
             # One closed-form span for the whole window: the operating
@@ -602,6 +666,144 @@ class EpochKernel:
                          epochs=stats.epochs_fast_forwarded - skipped_before)
         return dram_energy, baseline_energy
 
+    # --- stable stepped spans ----------------------------------------------
+
+    def _plan_stable_span(self, t: float, epoch_s: float,
+                          bound: float) -> int:
+        """How many consecutive epochs from *t* are provably *stable*.
+
+        A stable epoch still counts as stepped — the daemon's monitor is
+        armed (free memory may sit outside the hysteresis band) — but
+        nothing that could change system state can actually run during
+        it: the caller has already proven ``apply`` is a strict no-op
+        and the operating point constant before *bound*; this method
+        additionally vetoes KSM activity and live fault rules (the same
+        conditions :func:`~repro.sim.fastforward.quiescent_horizon`
+        checks), intersects the fault injector's own horizon, and caps
+        the span strictly before the epoch whose ``step`` would fire the
+        monitor.  The timer cap replays the daemon's exact
+        ``since += epoch_s`` float chain, so the firing epoch lands on
+        the dynamic path at the identical simulated time either way.
+        """
+        system = self.system
+        ksm = system.ksm
+        if ksm is not None and (ksm.pass_just_completed
+                                or ksm.registry.regions()):
+            return 0
+        injector = system.fault_injector
+        if injector is not None:
+            bound = intersect_horizons(t, bound,
+                                       injector.quiescent_until(t))
+            if bound <= t:
+                return 0
+        daemon = system.daemon
+        period = daemon.config.monitor_period_s
+        since = daemon._since_monitor_s
+        n = 0
+        now = t
+        while now < bound:
+            since += epoch_s
+            if since >= period:
+                break  # this epoch fires the monitor: leave it dynamic
+            n += 1
+            now += epoch_s
+        return n
+
+    def _stable_span_window(self, clock: SimClock, n: int,
+                            bandwidth: float, row_miss_rate: float,
+                            churn: bool, samples: List[EpochSample],
+                            dram_energy: float, baseline_energy: float,
+                            residency: ResidencyStats,
+                            ) -> Tuple[float, float]:
+        """Execute *n* stable stepped epochs as one batch.
+
+        The planner proved that across these epochs ``apply`` is a
+        strict no-op, the operating point is constant, KSM is idle, no
+        fault rule is live, and the monitor timer cannot reach its
+        period — so a stepped epoch reduces to the timer tick
+        (:meth:`~repro.core.daemon.GreenDIMMDaemon.tick_quiescent`, the
+        bit-exact mirror of ``step`` below the period), the sample, and
+        the energy sums.  Without churn those collapse to the same
+        batched ``np.add.accumulate`` chains the quiescent fast path
+        uses; with churn the real churn routine still runs every epoch
+        (preserving the RNG stream) and only the sample template is
+        refreshed when it moves memory — the span needs no early close
+        because churn cannot arm the timer or un-no-op ``apply`` (the
+        caller required strict owner steadiness for churn spans).
+
+        Returns the updated ``(dram_energy, baseline_energy)``.
+        """
+        sim = self.sim
+        system = self.system
+        mm = system.mm
+        daemon = system.daemon
+        epoch_s = clock.epoch_s
+        stats = sim.ff_stats
+        stats.spans_stable += 1
+        baseline_w = self._baseline_power_w(bandwidth, row_miss_rate)
+        active_res = min(1.0, bandwidth / PEAK_DRAM_BANDWIDTH_BYTES_PER_S)
+        if TRACER.enabled:
+            TRACER.event("span.enter", t_s=clock.now_s, epochs=n,
+                         churn=churn)
+        if churn:
+            template = None
+            for _ in range(n):
+                t = clock.now_s
+                system.advance_time(t)
+                free_before = mm.free_pages
+                sim._pinned_churn(t, epoch_s)
+                if template is None or mm.free_pages != free_before:
+                    template = self._sample(t, bandwidth, row_miss_rate)
+                daemon.tick_quiescent(epoch_s)
+                samples.append(template._replace(time_s=t))
+                dram_energy += template.dram_power_w * epoch_s
+                baseline_energy += baseline_w * epoch_s
+                residency.add_span(epoch_s, active_res,
+                                   template.dpd_fraction)
+                clock.tick()
+        else:
+            system.advance_time(clock.now_s)
+            template = self._sample(clock.now_s, bandwidth, row_miss_rate)
+            power_w = template.dram_power_w
+            dpd = template.dpd_fraction
+            period = daemon.config.monitor_period_s
+            if n < 48:
+                # Short span: the scalar chain beats the numpy batch's
+                # fixed setup cost (same crossover as the quiescent
+                # path).  Same float ops either way.
+                append = samples.append
+                since = daemon._since_monitor_s
+                now = clock.now_s
+                for _ in range(n):
+                    since += epoch_s
+                    if since >= period:
+                        since = 0.0  # unreachable: the planner capped n
+                    append(template._replace(time_s=now))
+                    dram_energy += power_w * epoch_s
+                    baseline_energy += baseline_w * epoch_s
+                    now += epoch_s
+                daemon._since_monitor_s = since
+                clock.now_s = now
+            else:
+                times, final = batched_times(clock.now_s, epoch_s, n)
+                emit_replicated(samples, times, template)
+                dram_energy = accumulate_energy(
+                    dram_energy, power_w * epoch_s, n)
+                baseline_energy = accumulate_energy(
+                    baseline_energy, baseline_w * epoch_s, n)
+                daemon._since_monitor_s = monitor_timer_after(
+                    daemon._since_monitor_s, epoch_s, period, n)
+                clock.now_s = final
+            # One closed-form span (constant operating point): equals
+            # the per-epoch sum up to float rounding, the same approx
+            # contract the quiescent path's residency carries.
+            residency.add_span(n * epoch_s, active_res, dpd)
+        stats.epochs_stepped += n
+        stats.epochs_batched += n
+        if TRACER.enabled:
+            TRACER.event("span.exit", t_s=clock.now_s, epochs=n)
+        return dram_energy, baseline_energy
+
     # --- the unified run loop ---------------------------------------------
 
     def run(self, source: WorkloadSource, epoch_s: float,
@@ -636,21 +838,41 @@ class EpochKernel:
                          duration_s=duration, epoch_s=epoch_s,
                          warmup_s=warmup_s, fast_forward=use_ff)
         clock = SimClock(epoch_s)
+        stable_until = getattr(source, "stable_until", source.horizon)
         while clock.now_s < duration:
             t = clock.now_s
             if use_ff:
-                horizon = source.horizon(t)
-                if horizon > t:
-                    horizon = min(horizon, quiescent_horizon(system, t))
-                if horizon > t + epoch_s:
-                    end = min(horizon, duration)
-                    bandwidth, row_miss = source.operating_point(t)
-                    dram_energy, baseline_energy = \
-                        self._fast_forward_window(
-                            clock, end, bandwidth, row_miss, pinned_churn,
-                            samples, dram_energy, baseline_energy,
-                            residency)
-                    continue
+                wl_horizon = source.horizon(t)
+                if wl_horizon > t:
+                    horizon = min(wl_horizon, quiescent_horizon(system, t))
+                    if horizon > t + epoch_s:
+                        end = min(horizon, duration)
+                        bandwidth, row_miss = source.operating_point(t)
+                        dram_energy, baseline_energy = \
+                            self._fast_forward_window(
+                                clock, end, bandwidth, row_miss,
+                                pinned_churn, samples, dram_energy,
+                                baseline_energy, residency)
+                        continue
+                # No quiescent window — the monitor is armed, or the one
+                # ahead is too short.  Try a *stable* span instead: the
+                # weaker promise that apply() no-ops and the operating
+                # point holds, capped before the monitor can fire.  With
+                # churn the span must stay a no-op while churn moves
+                # memory, which only strict owner steadiness (== the
+                # horizon's veto) guarantees.
+                stable = wl_horizon if pinned_churn else stable_until(t)
+                if stable > t:
+                    n = self._plan_stable_span(t, epoch_s,
+                                               min(stable, duration))
+                    if n >= 2:
+                        bandwidth, row_miss = source.operating_point(t)
+                        dram_energy, baseline_energy = \
+                            self._stable_span_window(
+                                clock, n, bandwidth, row_miss,
+                                pinned_churn, samples, dram_energy,
+                                baseline_energy, residency)
+                        continue
             system.advance_time(t)
             source.apply(t)
             if pinned_churn:

@@ -29,6 +29,7 @@ from repro.power.idd import DPD_RESIDUAL_FRACTION, SPARE_ROW_FRACTION
 from repro.power.system import SystemPowerModel
 from repro.sim.fastforward import FastForwardStats
 from repro.sim.kernel import (
+    SWAP_IN_RESERVE_PAGES,
     EpochKernel,
     EpochSample,
     MixSource,
@@ -290,7 +291,7 @@ class ServerSimulator:
         if not held:
             return
         mm = self.system.mm
-        take = min(held, max(0, mm.free_pages - 2048))
+        take = min(held, max(0, mm.free_pages - SWAP_IN_RESERVE_PAGES))
         if take <= 0:
             return
         try:

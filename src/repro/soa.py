@@ -29,11 +29,18 @@ sequences and assert the arrays match the objects exactly.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["BlockStateStore", "GroupGateStore"]
+__all__ = [
+    "BlockStateStore",
+    "GroupGateStore",
+    "accumulate_energy",
+    "batched_times",
+    "emit_replicated",
+    "monitor_timer_after",
+]
 
 
 class BlockStateStore:
@@ -232,3 +239,76 @@ class GroupGateStore:
         live = self.gated
         total[live] += now_s - self.gated_since_s[live]
         return total
+
+
+# --- batched epoch evaluation -------------------------------------------------
+#
+# The span planner (repro.sim.kernel) evaluates a run of constant-state
+# epochs as one numpy operation per accumulator.  Bit-for-bit equivalence
+# with per-epoch stepping is the contract, so every helper below applies
+# its float additions strictly left to right (``np.add.accumulate`` in
+# binary64 performs the identical op sequence as a scalar ``x += step``
+# loop) — never ``np.sum``, which is free to re-associate.
+
+
+def batched_times(start: float, step: float, n: int) -> Tuple[List[float], float]:
+    """The ``now += step`` clock chain from *start*, batched.
+
+    Returns ``(timestamps, final)``: the *n* epoch timestamps the scalar
+    chain would visit (starting at *start* itself) and the value the
+    clock holds after the last tick.
+    """
+    steps = np.empty(n + 1, dtype=np.float64)
+    steps[0] = start
+    steps[1:] = step
+    times = np.add.accumulate(steps)
+    return times[:n].tolist(), float(times[n])
+
+
+def accumulate_energy(initial: float, step_j: float, n: int) -> float:
+    """*n* sequential ``energy += step_j`` additions starting at *initial*."""
+    acc = np.empty(n + 1, dtype=np.float64)
+    acc[0] = initial
+    acc[1:] = step_j
+    return float(np.add.accumulate(acc)[-1])
+
+
+def monitor_timer_after(since: float, step: float, period: float,
+                        n: int) -> float:
+    """The daemon monitor timer after *n* quiet epochs, batched.
+
+    Replays ``since += step; if since >= period: since = 0.0`` exactly.
+    The reset makes the sequence periodic, so two chains suffice: phase A
+    runs from the carried-in value to its first reset; phase B is the
+    steady cycle from 0.0 (``0.0 + step == step`` exactly, so the chain
+    starts bit-equal), and the final value falls out of the remainder.
+    """
+    acc = np.empty(n + 1, dtype=np.float64)
+    acc[0] = since
+    acc[1:] = step
+    phase_a = np.add.accumulate(acc)
+    hits = np.nonzero(phase_a[1:] >= period)[0]
+    if hits.size == 0:
+        return float(phase_a[n])
+    rest = n - (int(hits[0]) + 1)  # epochs after the first reset
+    if rest == 0:
+        return 0.0
+    phase_b = np.add.accumulate(np.full(rest, step, dtype=np.float64))
+    hits_b = np.nonzero(phase_b >= period)[0]
+    if hits_b.size == 0:
+        return float(phase_b[rest - 1])
+    cycle = int(hits_b[0]) + 1
+    part = rest % cycle
+    return 0.0 if part == 0 else float(phase_b[part - 1])
+
+
+def emit_replicated(out: List[object], times: Sequence[float],
+                    template: object) -> None:
+    """Append one copy of *template* per timestamp (bulk sample emission).
+
+    *template* is any NamedTuple whose first field is the timestamp; the
+    remaining fields are replicated unchanged.
+    """
+    make = type(template)._make
+    tail = tuple(template)[1:]
+    out += [make((t, *tail)) for t in times]

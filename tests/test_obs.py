@@ -358,7 +358,9 @@ class TestBenchGate:
             epochs_total = 1
             epochs_fast_forwarded = 1
             epochs_stepped = 0
+            epochs_batched = 0
             windows = 1
+            spans_stable = 0
 
         class _Cache:
             hit_rate = 1.0
