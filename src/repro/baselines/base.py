@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.policies.schema import PolicyRow
 
 from repro.dram.organization import MemoryOrganization
 from repro.errors import ConfigurationError
@@ -41,6 +44,22 @@ class BaselineEstimate:
     runtime_factor: float = 1.0  # multiplier on the workload's runtime
     extra_power_w: float = 0.0   # e.g. migration traffic (RAMZzz)
     notes: str = ""
+
+    def to_row(self, scenario: Optional[str] = None) -> "PolicyRow":
+        """Flatten into the shared policy-row schema.
+
+        An estimate is an operating point, not a finished run, so the
+        energy fields stay zero; the shape factors travel as extras so
+        report tables and figure expectations can still surface them.
+        """
+        from repro.policies.schema import PolicyRow
+        return PolicyRow(
+            policy=self.policy,
+            scenario=scenario or ("intlv" if self.interleaved
+                                  else "no-intlv"),
+            extras={"runtime_factor": self.runtime_factor,
+                    "extra_power_w": self.extra_power_w},
+            notes=self.notes)
 
 
 def busy_residency(utilization: float) -> Dict[PowerState, float]:

@@ -6,7 +6,11 @@ list-workloads          the synthetic workload catalog
 list-experiments        every reproducible table/figure
 run EXPERIMENT... [--fast] [--parallel N] [--cache-dir DIR]
                  [--fault-plan FILE] [--no-fast-forward] [--trace FILE]
+                 [--policy NAME]
                         regenerate tables/figures (``all`` = whole suite)
+tournament [--fast] [--policies NAME ...] [--scenarios NAME ...]
+           [--workers N] [--metrics FILE] [--report FILE]
+                        run every power policy across the scenario matrix
 simulate WORKLOAD [--trace FILE]
                         run a workload under the GreenDIMM daemon
 fleet [--servers N] [--hours H] [--workers N] [--report FILE]
@@ -101,8 +105,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.faults import FaultPlan
 
         plan_json = FaultPlan.from_file(args.fault_plan).canonical()
+    if args.policy:
+        from repro.policies import policy_names
+
+        if args.policy not in policy_names():
+            print(f"unknown policy {args.policy!r}; "
+                  f"try: {', '.join(policy_names())}", file=sys.stderr)
+            return 2
     jobs = suite_jobs(requested, fast=args.fast, fault_plan=plan_json,
-                      fast_forward=not args.no_fast_forward)
+                      fast_forward=not args.no_fast_forward,
+                      policy=args.policy)
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     metrics = MetricsBus(path=args.metrics)
     engine = ParallelRunner(workers=args.parallel, cache=cache,
@@ -315,6 +327,24 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tournament(args: argparse.Namespace) -> int:
+    from repro.experiments.tournament import run as run_tournament
+    from repro.runner import MetricsBus
+
+    metrics = MetricsBus(path=args.metrics)
+    result = run_tournament(fast=args.fast, policies=args.policies,
+                            scenarios=args.scenarios,
+                            workers=args.workers, metrics=metrics)
+    print(result.render())
+    if args.report:
+        from repro.obs.report import write_report
+
+        target = write_report(metrics.events, args.report,
+                              title="GreenDIMM policy tournament")
+        print(f"wrote report to {target}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     import pathlib
 
@@ -446,7 +476,32 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--trace", default=None, metavar="FILE",
                        help="enable structured run tracing and append the "
                             "collected events to FILE as JSONL")
+    run_p.add_argument("--policy", default=None, metavar="NAME",
+                       help="select the power policy every system the "
+                            "experiments build should run (default: the "
+                            "GreenDIMM daemon; see 'repro tournament' "
+                            "for the catalog)")
     run_p.set_defaults(func=cmd_run)
+
+    tour_p = sub.add_parser(
+        "tournament",
+        help="run every power policy across the scenario matrix")
+    tour_p.add_argument("--fast", action="store_true",
+                        help="shrink scenario durations")
+    tour_p.add_argument("--policies", action="append", metavar="NAME",
+                        help="restrict to one policy (repeatable; "
+                             "default: all registered policies)")
+    tour_p.add_argument("--scenarios", action="append", metavar="NAME",
+                        help="restrict to one scenario (repeatable; "
+                             "default: the full matrix)")
+    tour_p.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="fan the cells out over N processes "
+                             "(results are identical to a serial run)")
+    tour_p.add_argument("--metrics", default=None, metavar="FILE",
+                        help="append per-cell JSONL metrics to FILE")
+    tour_p.add_argument("--report", default=None, metavar="FILE",
+                        help="write a markdown/HTML run report to FILE")
+    tour_p.set_defaults(func=cmd_tournament)
 
     sim_p = sub.add_parser("simulate", help="run a workload under GreenDIMM")
     sim_p.add_argument("workload")

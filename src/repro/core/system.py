@@ -25,6 +25,8 @@ from repro.os.hotplug import HotplugLatencyModel, MemoryBlockManager
 from repro.os.mm import PhysicalMemoryManager
 from repro.os.page import OwnerKind
 from repro.os.sysfs import SysfsMemoryInterface
+from repro.policies.context import get_active_policy
+from repro.policies.registry import DEFAULT_POLICY, create_policy
 from repro.power.model import DRAMPowerBreakdown, DRAMPowerModel
 from repro.units import GIB
 
@@ -41,6 +43,7 @@ class GreenDIMMSystem:
                  transient_failure_probability: float = 0.85,
                  kernel_boot_bytes: int = 2 * GIB,
                  fault_plan: Optional[FaultPlan] = None,
+                 policy: Optional[str] = None,
                  seed: int = 42):
         self.organization = organization or spec_server_memory()
         self.config = config or GreenDIMMConfig()
@@ -84,6 +87,15 @@ class GreenDIMMSystem:
         if kernel_boot_bytes:
             core_mm.allocate("kernel", kernel_boot_bytes // 4096,
                              kind=OwnerKind.KERNEL)
+        # Policy selection: an explicit name wins; otherwise the runner's
+        # process-global selection (``repro run --policy``) applies, and
+        # the GreenDIMM daemon remains the default.  The daemon itself is
+        # always constructed (above, preserving the RNG draw order) so
+        # direct ``system.daemon`` consumers keep working under any
+        # policy; only the kernel's stepping goes through ``self.policy``.
+        self.policy_name = (policy if policy is not None
+                            else get_active_policy() or DEFAULT_POLICY)
+        self.policy = create_policy(self.policy_name, self)
 
     # --- stepping ----------------------------------------------------------
 
@@ -93,11 +105,11 @@ class GreenDIMMSystem:
             self.fault_injector.advance(now_s)
 
     def step(self, now_s: float, dt_s: float = 1.0) -> None:
-        """Advance KSM and the GreenDIMM daemon by one epoch."""
+        """Advance KSM and the active power policy by one epoch."""
         self.advance_time(now_s)
         if self.ksm is not None:
             self.ksm.step(dt_s)
-        self.daemon.step(now_s, dt_s)
+        self.policy.step(now_s, dt_s)
 
     # --- power views ----------------------------------------------------------
 
@@ -106,7 +118,7 @@ class GreenDIMMSystem:
                    row_miss_rate: float = 0.5) -> DRAMPowerBreakdown:
         """Current DRAM power, honouring the gated sub-array groups.
 
-        Memoized: the daemon's whole power-relevant state projects onto
+        Memoized: the policy's whole power-relevant state projects onto
         ``dpd_fraction``, so (bandwidth, residency, row-miss, dpd) keys
         the evaluation exactly.
         """
@@ -114,7 +126,7 @@ class GreenDIMMSystem:
             bandwidth_bytes_per_s,
             active_residency=active_residency,
             row_miss_rate=row_miss_rate,
-            dpd_fraction=self.daemon.dpd_fraction())
+            dpd_fraction=self.policy.dpd_fraction())
 
     def baseline_dram_power(self, bandwidth_bytes_per_s: float = 0.0,
                             active_residency: float = 0.0,

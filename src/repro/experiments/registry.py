@@ -29,6 +29,7 @@ def runners() -> Dict[str, Callable[..., ExperimentResult]]:
         tab01_power_vs_util,
         tab03_latency,
         tail_latency,
+        tournament,
     )
     from repro.experiments.fig06_07_tab02_blocksize import (
         run_fig06,
@@ -61,6 +62,7 @@ def runners() -> Dict[str, Callable[..., ExperimentResult]]:
         "fault-storm": fault_storm.run,
         "fleet": fleet.run,
         "gem5-staircase": gem5_staircase.run,
+        "tournament": tournament.run,
     }
 
 

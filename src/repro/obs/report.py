@@ -298,6 +298,34 @@ def build_report(events: Sequence[Dict[str, object]],
             ])])
         sections.append("\n".join(section))
 
+    cells = [e for e in events if e.get("event") == "tournament_row"]
+    if cells:
+        rows = [(c.get("policy"), c.get("scenario"),
+                 f"{float(c.get('dram_power_w', 0.0)):.2f}",
+                 _pct(float(c.get("dram_energy_saving", 0.0))),
+                 _pct(float(c.get("overhead_fraction", 0.0))),
+                 _pct(float(c.get("mean_dpd_fraction", 0.0))),
+                 _pct(float(c.get("residency_self_refresh", 0.0))),
+                 c.get("max_offline_blocks", 0),
+                 c.get("emergency_onlines", 0))
+                for c in cells]
+        section = ["## Policy tournament", "",
+                   _md_table(["policy", "scenario", "dram W",
+                              "energy saving", "overhead", "mean DPD",
+                              "SRF residency", "peak offline blocks",
+                              "emergency onlines"], rows)]
+        savings: Dict[str, List[float]] = {}
+        for cell in cells:
+            savings.setdefault(str(cell.get("policy")), []).append(
+                float(cell.get("dram_energy_saving", 0.0)))
+        means = sorted(((sum(v) / len(v), policy)
+                        for policy, v in savings.items()), reverse=True)
+        section.extend(["", _md_table(
+            ["rank", "policy", "mean energy saving"],
+            [(index + 1, policy, _pct(mean))
+             for index, (mean, policy) in enumerate(means)])])
+        sections.append("\n".join(section))
+
     faults = _merge_counts(jobs, "faults")
     if faults:
         rows = [(name, faults[name]) for name in sorted(faults)]

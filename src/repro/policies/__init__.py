@@ -1,0 +1,42 @@
+"""Pluggable power-management policies for the epoch kernel.
+
+The :class:`~repro.policies.base.PowerPolicy` protocol names the surface
+:class:`~repro.sim.kernel.EpochKernel` drives; the registry maps policy
+names to lazy factories for both the in-kernel implementations and the
+closed-form analytical estimators.  See ``docs/ARCHITECTURE.md`` for the
+protocol obligations and the span-planner veto contract.
+"""
+
+from repro.policies.base import PeriodicPolicy, PowerPolicy
+from repro.policies.context import (
+    get_active_policy,
+    policy_scope,
+    set_active_policy,
+)
+from repro.policies.registry import (
+    DEFAULT_POLICY,
+    PolicySpec,
+    analytical_policy_names,
+    create_estimator,
+    create_policy,
+    policy_names,
+    policy_spec,
+)
+from repro.policies.schema import PolicyRow, render_rows
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "PeriodicPolicy",
+    "PolicyRow",
+    "PolicySpec",
+    "PowerPolicy",
+    "analytical_policy_names",
+    "create_estimator",
+    "create_policy",
+    "get_active_policy",
+    "policy_names",
+    "policy_scope",
+    "policy_spec",
+    "render_rows",
+    "set_active_policy",
+]

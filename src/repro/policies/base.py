@@ -1,0 +1,201 @@
+"""The ``PowerPolicy`` protocol: what the simulator demands of a policy.
+
+:class:`~repro.sim.kernel.EpochKernel` and the span planner were written
+against :class:`~repro.core.daemon.GreenDIMMDaemon`'s surface.  This
+module names that surface explicitly so any power-management scheme —
+the GreenDIMM daemon itself, rank-level baselines, or page-migration
+policies from the literature — can plug into the same run loop.
+
+The obligations, in the order the kernel exercises them:
+
+``step(now_s, dt_s)``
+    Advance the policy by one dynamic epoch.  May touch memory, move
+    pages, or change the power state; this is the only entry point that
+    is allowed side effects on the system.
+
+``tick_quiescent(dt_s)``
+    Advance internal timers through an epoch the caller has *proven* to
+    be a no-op.  Must be a bit-exact mirror of :meth:`step`'s timer
+    arithmetic so a later dynamic epoch fires at the identical simulated
+    time either way.
+
+``monitor_is_noop()``
+    True when a :meth:`step` right now would take no action and consume
+    no randomness.  :func:`~repro.sim.fastforward.quiescent_horizon`
+    refuses to open a fast-forward window unless this holds.
+
+``monitor_timer`` / ``monitor_period_s``
+    The replay surface: batched fast-forward advances the timer with
+    :func:`repro.soa.monitor_timer_after`, which assumes the standard
+    ``since += dt; if since >= period: since = 0.0`` chain.  A policy
+    whose timer does not follow that chain must clear
+    :attr:`span_batchable` (see below).
+
+``span_batchable``
+    Declares that (a) the timer follows the standard replay chain and
+    (b) between monitor fires :meth:`step` is pure timer arithmetic.
+    The span planner treats a missing/false flag as a veto: spans are
+    left on the dynamic path — correctness first, batching second.
+
+``dpd_fraction()``
+    The policy's whole power-relevant state projected onto one float in
+    [0, 1]: the capacity-fraction whose background + refresh power is
+    gone.  Keys the memoized power model.
+
+``emergency_online(needed_pages, now_s)``
+    Allocation pressure between monitor passes.  Policies that never
+    offline memory return 0 (the allocation then spills to swap).
+
+``stats`` / ``reset_stats()``
+    A :class:`~repro.core.daemon.DaemonStats` the result layers read.
+
+``extra_power_w()`` / ``runtime_overhead_fraction()``
+    Costs the dpd projection cannot express: migration traffic drawn as
+    extra DRAM power, and runtime dilation from monitoring/migration
+    interference.  Both must return exactly ``0.0`` when unused so the
+    kernel can skip the additions bit-exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict
+
+from repro.core.daemon import DaemonStats
+
+try:  # pragma: no cover - Protocol exists on every supported python
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+if TYPE_CHECKING:
+    from repro.core.system import GreenDIMMSystem
+
+
+@runtime_checkable
+class PowerPolicy(Protocol):
+    """Structural type for anything the epoch kernel can drive."""
+
+    name: str
+    stats: DaemonStats
+    #: Timer follows the standard replay chain; see the module docstring.
+    span_batchable: bool
+
+    def reset_stats(self) -> None: ...
+
+    def step(self, now_s: float, dt_s: float) -> None: ...
+
+    def tick_quiescent(self, dt_s: float) -> None: ...
+
+    def monitor_is_noop(self) -> bool: ...
+
+    @property
+    def monitor_period_s(self) -> float: ...
+
+    @property
+    def monitor_timer(self) -> float: ...
+
+    def dpd_fraction(self) -> float: ...
+
+    @property
+    def offline_block_count(self) -> int: ...
+
+    def emergency_online(self, needed_pages: int,
+                         now_s: float = 0.0) -> int: ...
+
+    def extra_power_w(self) -> float: ...
+
+    def runtime_overhead_fraction(self) -> float: ...
+
+    def policy_metrics(self) -> Dict[str, float]: ...
+
+
+class PeriodicPolicy:
+    """Base class for policies that recompute state at monitor fires.
+
+    Mirrors the daemon's timer discipline exactly: ``step`` advances
+    ``monitor_timer`` by ``dt_s`` and calls :meth:`monitor_once` when the
+    period elapses; between fires ``step`` is pure timer arithmetic, so
+    the batched replay (:func:`repro.soa.monitor_timer_after`) and the
+    span planner's timer cap both stay valid — ``span_batchable`` holds
+    by construction.
+
+    Subclasses implement :meth:`monitor_once` (recompute the power
+    posture from live system state) and :meth:`monitor_is_noop` (would a
+    recomputation right now change anything?).
+    """
+
+    name = "periodic"
+    span_batchable = True
+
+    def __init__(self, system: "GreenDIMMSystem"):
+        self.system = system
+        self.stats = DaemonStats()
+        self._since_monitor_s = math.inf  # fire on the first step
+
+    # --- stats lifecycle --------------------------------------------------
+
+    def reset_stats(self) -> None:
+        self.stats = DaemonStats()
+
+    # --- stepping ---------------------------------------------------------
+
+    def step(self, now_s: float, dt_s: float) -> None:
+        self._since_monitor_s += dt_s
+        if self._since_monitor_s < self.monitor_period_s:
+            return
+        self._since_monitor_s = 0.0
+        self.monitor_once(now_s)
+
+    def tick_quiescent(self, dt_s: float) -> None:
+        """Bit-exact mirror of :meth:`step` below the period."""
+        self._since_monitor_s += dt_s
+        if self._since_monitor_s < self.monitor_period_s:
+            return
+        self._since_monitor_s = 0.0
+
+    def monitor_once(self, now_s: float) -> None:
+        raise NotImplementedError
+
+    def monitor_is_noop(self) -> bool:
+        raise NotImplementedError
+
+    # --- replay surface ---------------------------------------------------
+
+    @property
+    def monitor_period_s(self) -> float:
+        return self.system.config.monitor_period_s
+
+    @property
+    def monitor_timer(self) -> float:
+        return self._since_monitor_s
+
+    @monitor_timer.setter
+    def monitor_timer(self, value: float) -> None:
+        self._since_monitor_s = value
+
+    # --- power / pressure surface ----------------------------------------
+
+    def dpd_fraction(self) -> float:
+        return 0.0
+
+    @property
+    def offline_block_count(self) -> int:
+        return 0
+
+    def emergency_online(self, needed_pages: int, now_s: float = 0.0) -> int:
+        """Rank-level schemes keep all memory online: nothing to bring back."""
+        return 0
+
+    def extra_power_w(self) -> float:
+        return 0.0
+
+    def runtime_overhead_fraction(self) -> float:
+        return 0.0
+
+    def policy_metrics(self) -> Dict[str, float]:
+        """Policy-specific counters for tournament/report rows."""
+        return {}

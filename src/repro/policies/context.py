@@ -1,0 +1,42 @@
+"""Process-global policy selection for the experiment runner.
+
+``repro run --policy`` (and the golden-divergence CI check) must apply
+one policy to every system an experiment constructs, including deep
+inside pool worker processes where the CLI cannot reach.  The runner
+serializes the policy name into the job (where it also keys the result
+cache) and ``execute_job`` activates it here before the experiment runs;
+:class:`~repro.core.system.GreenDIMMSystem` consults
+:func:`get_active_policy` when no explicit policy was passed.
+
+Same shape as :mod:`repro.faults.context` — one ambient value, scoped
+with a context manager so nested activations restore cleanly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_active_policy: Optional[str] = None
+
+
+def get_active_policy() -> Optional[str]:
+    """The policy name activated for the current job, if any."""
+    return _active_policy
+
+
+def set_active_policy(name: Optional[str]) -> None:
+    """Activate policy *name* process-wide (``None`` deactivates)."""
+    global _active_policy
+    _active_policy = name
+
+
+@contextmanager
+def policy_scope(name: Optional[str]) -> Iterator[None]:
+    """Scope *name* to a ``with`` block, restoring the prior policy after."""
+    previous = _active_policy
+    set_active_policy(name)
+    try:
+        yield
+    finally:
+        set_active_policy(previous)

@@ -1,0 +1,37 @@
+"""In-kernel PASR: bank-granularity partial-array self-refresh.
+
+The live counterpart of :class:`repro.baselines.pasr_policy.PASRPolicy`:
+idle ranks self-refresh at the timeout capture rate, and on *every*
+rank the banks the current usage leaves untouched stop refreshing
+(``PASR_BANK_SAVING`` of their background share), expressed as a
+whole-channel dpd term through the same dpd scale the power model
+applies.  Both terms move with live usage at every monitor fire.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.pasr_policy import PASR_BANK_SAVING
+from repro.baselines.srf_only import SELF_REFRESH_EFFICIENCY
+from repro.policies.calibration import (
+    idle_bank_fraction,
+    idle_rank_fraction,
+    rank_mix_dpd,
+)
+from repro.policies.ranklevel import RankLevelPolicy
+from repro.power.states import PowerState
+
+
+class PASRKernelPolicy(RankLevelPolicy):
+    """Refresh masking for idle banks, on top of the timeout policy."""
+
+    name = "pasr"
+
+    IDLE_MIX = {PowerState.SELF_REFRESH: SELF_REFRESH_EFFICIENCY}
+
+    def _compute_dpd(self, used_bytes: int) -> float:
+        organization = self.system.organization
+        idle_ranks = idle_rank_fraction(used_bytes, organization)
+        bank_dpd = (idle_bank_fraction(used_bytes, organization)
+                    * PASR_BANK_SAVING)
+        return rank_mix_dpd(self.system.power_model, idle_ranks,
+                            self.IDLE_MIX, all_rank_dpd=bank_dpd)

@@ -1,0 +1,44 @@
+"""In-kernel RAMZzz: hot/cold rank reshaping with proactive demotion.
+
+The live counterpart of :class:`repro.baselines.ramzzz.RAMZzzPolicy`:
+page stats pack the cold majority of the live footprint into sleepable
+ranks, so only ``HOT_FRACTION`` of current usage pins ranks awake, and
+the manufactured-idle ranks are demoted proactively
+(``DEMOTED_EFFICIENCY`` self-refresh capture).  The monitoring and
+migration machinery costs the analytical model's constant runtime
+overhead.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.ramzzz import (
+    DEMOTED_EFFICIENCY,
+    HOT_FRACTION,
+    RUNTIME_OVERHEAD,
+)
+from repro.policies.calibration import rank_mix_dpd, resident_ranks
+from repro.policies.ranklevel import RankLevelPolicy
+from repro.power.states import PowerState
+
+
+class RAMZzzKernelPolicy(RankLevelPolicy):
+    """Cold-page packing plus predictive demotion of the emptied ranks."""
+
+    name = "ramzzz"
+
+    IDLE_MIX = {PowerState.SELF_REFRESH: DEMOTED_EFFICIENCY,
+                PowerState.POWER_DOWN: 0.15}
+
+    def _compute_dpd(self, used_bytes: int) -> float:
+        organization = self.system.organization
+        plain = resident_ranks(used_bytes, organization)
+        hot_ranks = math.ceil(used_bytes * HOT_FRACTION
+                              / organization.rank_capacity_bytes)
+        resident = max(1, min(plain, hot_ranks))
+        idle = 1.0 - resident / organization.total_ranks
+        return rank_mix_dpd(self.system.power_model, idle, self.IDLE_MIX)
+
+    def runtime_overhead_fraction(self) -> float:
+        return RUNTIME_OVERHEAD

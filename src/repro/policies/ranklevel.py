@@ -1,0 +1,50 @@
+"""Shared base for in-kernel rank-level policies.
+
+The analytical :mod:`repro.baselines` estimate a policy's power from a
+workload's *declared* peak footprint, outside the kernel.  These
+in-kernel counterparts face the live system instead: at every monitor
+fire they read actual memory usage from the memory manager (which moves
+with ramps, pinned churn, KSM merging, and injected faults) and project
+their rank-level posture onto the kernel's ``dpd_fraction`` through the
+calibrated conversion in :mod:`repro.policies.calibration`.
+
+Between fires nothing changes — the posture is a pure function of the
+usage observed at the last fire — so the periodic-timer contract of
+:class:`~repro.policies.base.PeriodicPolicy` holds and fast-forward /
+stable-span batching stay valid: ``monitor_is_noop`` is exactly "a
+recomputation right now would return the current posture".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.policies.base import PeriodicPolicy
+from repro.units import PAGE_SIZE
+
+if TYPE_CHECKING:
+    from repro.core.system import GreenDIMMSystem
+
+
+class RankLevelPolicy(PeriodicPolicy):
+    """Recompute an effective dpd from live usage at each monitor fire."""
+
+    def __init__(self, system: "GreenDIMMSystem"):
+        super().__init__(system)
+        self._effective_dpd = 0.0
+
+    def _used_bytes(self) -> int:
+        mm = self.system.mm
+        return (mm.online_pages - mm.free_pages) * PAGE_SIZE
+
+    def _compute_dpd(self, used_bytes: int) -> float:
+        raise NotImplementedError
+
+    def monitor_once(self, now_s: float) -> None:
+        self._effective_dpd = self._compute_dpd(self._used_bytes())
+
+    def monitor_is_noop(self) -> bool:
+        return self._compute_dpd(self._used_bytes()) == self._effective_dpd
+
+    def dpd_fraction(self) -> float:
+        return self._effective_dpd

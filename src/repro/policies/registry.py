@@ -1,0 +1,153 @@
+"""The policy registry: one name space for every power policy.
+
+Kernel policies (things the epoch kernel can drive live) and analytical
+estimators (the closed-form :mod:`repro.baselines` used by Figures
+9-11) register side by side under one name, so the figure experiments,
+``repro run --policy``, and ``repro tournament`` all agree on what a
+policy is called.  Registration is **lazy**: specs hold factories, and
+nothing is instantiated until a caller asks — importing this module (or
+:mod:`repro.sim.experiment`) constructs no policy objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.core.system import GreenDIMMSystem
+    from repro.policies.base import PowerPolicy
+
+#: Name of the policy a system runs when nothing else is selected.
+DEFAULT_POLICY = "greendimm"
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """One registered policy: how to build it, in either incarnation."""
+
+    name: str
+    description: str
+    #: Builds the live in-kernel policy for one system.
+    kernel_factory: Callable[["GreenDIMMSystem"], "PowerPolicy"]
+    #: Builds the closed-form estimator (``None``: no analytical form).
+    estimator_factory: Optional[Callable[[], object]] = None
+
+
+def _make_greendimm(system: "GreenDIMMSystem") -> "PowerPolicy":
+    from repro.policies.greendimm import GreenDIMMPolicy
+    return GreenDIMMPolicy(system)
+
+
+def _make_srf(system: "GreenDIMMSystem") -> "PowerPolicy":
+    from repro.policies.srf import SelfRefreshTimeoutPolicy
+    return SelfRefreshTimeoutPolicy(system)
+
+
+def _make_ramzzz(system: "GreenDIMMSystem") -> "PowerPolicy":
+    from repro.policies.ramzzz import RAMZzzKernelPolicy
+    return RAMZzzKernelPolicy(system)
+
+
+def _make_pasr(system: "GreenDIMMSystem") -> "PowerPolicy":
+    from repro.policies.pasr import PASRKernelPolicy
+    return PASRKernelPolicy(system)
+
+
+def _make_migration(system: "GreenDIMMSystem") -> "PowerPolicy":
+    from repro.policies.migration import RankAwareMigrationPolicy
+    return RankAwareMigrationPolicy(system)
+
+
+def _make_demotion(system: "GreenDIMMSystem") -> "PowerPolicy":
+    from repro.policies.demotion import AdaptiveDemotionPolicy
+    return AdaptiveDemotionPolicy(system)
+
+
+def _estimate_srf() -> object:
+    from repro.baselines.srf_only import SelfRefreshOnlyPolicy
+    return SelfRefreshOnlyPolicy()
+
+
+def _estimate_ramzzz() -> object:
+    from repro.baselines.ramzzz import RAMZzzPolicy
+    return RAMZzzPolicy()
+
+
+def _estimate_pasr() -> object:
+    from repro.baselines.pasr_policy import PASRPolicy
+    return PASRPolicy()
+
+
+_REGISTRY: Optional[Dict[str, PolicySpec]] = None
+
+
+def _registry() -> Dict[str, PolicySpec]:
+    """Build the spec table once, in canonical order.
+
+    The analytical baselines come first in the order the figure suite
+    has always evaluated them (srf_only, ramzzz, pasr), then GreenDIMM,
+    then the kernel-only Lu et al. policies.
+    """
+    global _REGISTRY
+    if _REGISTRY is None:
+        specs = (
+            PolicySpec("srf_only",
+                       "rank-granularity self-refresh timeout",
+                       _make_srf, _estimate_srf),
+            PolicySpec("ramzzz",
+                       "RAMZzz hot/cold rank reshaping (SC'12)",
+                       _make_ramzzz, _estimate_ramzzz),
+            PolicySpec("pasr",
+                       "partial-array self-refresh bank masking",
+                       _make_pasr, _estimate_pasr),
+            PolicySpec("greendimm",
+                       "sub-array power-down daemon (the paper)",
+                       _make_greendimm),
+            PolicySpec("rank-migration",
+                       "hot-page concentration with migration "
+                       "accounting (Lu et al.)",
+                       _make_migration),
+            PolicySpec("adaptive-demotion",
+                       "per-rank demotion depth from observed idle "
+                       "distributions (Lu et al.)",
+                       _make_demotion),
+        )
+        _REGISTRY = {spec.name: spec for spec in specs}
+    return _REGISTRY
+
+
+def policy_names() -> Tuple[str, ...]:
+    """Every registered policy name, in canonical order."""
+    return tuple(_registry())
+
+
+def analytical_policy_names() -> Tuple[str, ...]:
+    """Policies with a closed-form estimator, in evaluation order."""
+    return tuple(name for name, spec in _registry().items()
+                 if spec.estimator_factory is not None)
+
+
+def policy_spec(name: str) -> PolicySpec:
+    try:
+        return _registry()[name]
+    except KeyError:
+        known = ", ".join(_registry())
+        raise ConfigurationError(
+            f"unknown policy {name!r} (known: {known})") from None
+
+
+def create_policy(name: str, system: "GreenDIMMSystem") -> "PowerPolicy":
+    """Instantiate the in-kernel policy *name* for *system*."""
+    return policy_spec(name).kernel_factory(system)
+
+
+def create_estimator(name: str) -> object:
+    """Instantiate the analytical estimator for *name*."""
+    spec = policy_spec(name)
+    if spec.estimator_factory is None:
+        raise ConfigurationError(
+            f"policy {name!r} has no closed-form estimator")
+    return spec.estimator_factory()

@@ -1,0 +1,44 @@
+"""In-kernel self-refresh-only policy (the commodity timeout baseline).
+
+The live counterpart of
+:class:`repro.baselines.srf_only.SelfRefreshOnlyPolicy`: ranks the
+current usage does not touch (non-interleaved placement) spend
+``SELF_REFRESH_EFFICIENCY`` of their time in self-refresh and
+``IDLE_POWERDOWN_FRACTION`` in power-down — the same Figure-3b-anchored
+capture fractions the analytical estimate uses, converted to an
+effective dpd through the platform's IDD table.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.baselines.srf_only import (
+    IDLE_POWERDOWN_FRACTION,
+    SELF_REFRESH_EFFICIENCY,
+)
+from repro.policies.calibration import idle_rank_fraction, rank_mix_dpd
+from repro.policies.ranklevel import RankLevelPolicy
+from repro.power.states import PowerState
+
+if TYPE_CHECKING:
+    from repro.core.system import GreenDIMMSystem
+
+
+class SelfRefreshTimeoutPolicy(RankLevelPolicy):
+    """Rank-granularity timeout demotion, nothing else."""
+
+    name = "srf_only"
+
+    #: Time an idle rank spends in each low-power state once the
+    #: timeout ladder settles (self-refresh after the long threshold,
+    #: power-down after the short one).
+    IDLE_MIX = {PowerState.SELF_REFRESH: SELF_REFRESH_EFFICIENCY,
+                PowerState.POWER_DOWN: IDLE_POWERDOWN_FRACTION}
+
+    def __init__(self, system: "GreenDIMMSystem"):
+        super().__init__(system)
+
+    def _compute_dpd(self, used_bytes: int) -> float:
+        idle = idle_rank_fraction(used_bytes, self.system.organization)
+        return rank_mix_dpd(self.system.power_model, idle, self.IDLE_MIX)

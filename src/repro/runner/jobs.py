@@ -48,6 +48,11 @@ class ExperimentJob:
     seed: Optional[int] = None
     fault_plan: Optional[str] = None
     fast_forward: bool = True
+    #: Power policy to select process-globally around the run (see
+    #: :func:`repro.policies.context.policy_scope`).  ``None`` leaves
+    #: the ambient default (the GreenDIMM daemon) in charge, and keeps
+    #: pre-policy cache keys and descriptions unchanged.
+    policy: Optional[str] = None
 
     @property
     def job_seed(self) -> int:
@@ -62,7 +67,7 @@ class ExperimentJob:
         payload = json.dumps(
             {"experiment": self.experiment, "fast": self.fast,
              "seed": self.job_seed, "fault_plan": self.fault_plan,
-             "fast_forward": self.fast_forward},
+             "fast_forward": self.fast_forward, "policy": self.policy},
             sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -72,19 +77,22 @@ class ExperimentJob:
             tags.append("fast")
         if not self.fast_forward:
             tags.append("no-ff")
+        if self.policy is not None:
+            tags.append(f"policy={self.policy}")
         return self.experiment + (f" ({', '.join(tags)})" if tags else "")
 
 
 def suite_jobs(names: Optional[Sequence[str]] = None,
                fast: bool = False,
                fault_plan: Optional[str] = None,
-               fast_forward: bool = True) -> List[ExperimentJob]:
+               fast_forward: bool = True,
+               policy: Optional[str] = None) -> List[ExperimentJob]:
     """Jobs for *names* (or the whole registry), in registry order.
 
     ``"all"`` anywhere in *names* expands to the full registered suite.
     Unknown names raise :class:`ConfigurationError` before anything runs.
-    *fault_plan* (canonical JSON, or ``None``) and *fast_forward* are
-    stamped onto every job.
+    *fault_plan* (canonical JSON, or ``None``), *fast_forward*, and
+    *policy* are stamped onto every job.
     """
     from repro.experiments.registry import runners
 
@@ -99,7 +107,7 @@ def suite_jobs(names: Optional[Sequence[str]] = None,
                 f"unknown experiment(s) {', '.join(sorted(unknown))}; "
                 f"known: {', '.join(sorted(table))}")
     return [ExperimentJob(experiment=name, fast=fast, fault_plan=fault_plan,
-                          fast_forward=fast_forward)
+                          fast_forward=fast_forward, policy=policy)
             for name in selected]
 
 
@@ -110,16 +118,18 @@ def execute_job(job: ExperimentJob) -> ExperimentResult:
     carry their own seeded ``random.Random`` instances, but this guards
     any stray module-level randomness so the serial and parallel paths
     produce bitwise-identical results.  A fault plan on the job is
-    activated process-globally for the duration of the run, and so is
-    the job's fast-forward setting.
+    activated process-globally for the duration of the run, and so are
+    the job's fast-forward setting and its power-policy selection.
     """
     from repro.experiments.registry import run_experiment
     from repro.faults.context import active_plan
     from repro.faults.plan import FaultPlan
+    from repro.policies.context import policy_scope
     from repro.sim.kernel import fast_forward_scope
 
     random.seed(job.job_seed)
     plan = (FaultPlan.from_json(job.fault_plan)
             if job.fault_plan is not None else None)
-    with active_plan(plan), fast_forward_scope(job.fast_forward):
+    with active_plan(plan), fast_forward_scope(job.fast_forward), \
+            policy_scope(job.policy):
         return run_experiment(job.experiment, fast=job.fast)

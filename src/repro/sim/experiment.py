@@ -12,11 +12,10 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.baselines.base import BaselineEstimate, resident_ranks_for
-from repro.baselines.pasr_policy import PASRPolicy
-from repro.baselines.ramzzz import RAMZzzPolicy
-from repro.baselines.srf_only import SelfRefreshOnlyPolicy
 from repro.core.system import GreenDIMMSystem
 from repro.dram.organization import MemoryOrganization, spec_server_memory
+from repro.policies.registry import analytical_policy_names, create_estimator
+from repro.policies.schema import PolicyRow
 from repro.power.model import DRAMPowerModel, RankPowerProfile
 from repro.power.system import SystemPowerModel
 from repro.sim.perfmodel import (
@@ -27,13 +26,11 @@ from repro.sim.perfmodel import (
 from repro.sim.server import ServerSimulator
 from repro.workloads.profiles import WorkloadProfile
 
-POLICIES = ("srf_only", "ramzzz", "pasr", "greendimm")
-
-_BASELINES = {
-    "srf_only": SelfRefreshOnlyPolicy(),
-    "ramzzz": RAMZzzPolicy(),
-    "pasr": PASRPolicy(),
-}
+#: The Figure 9/10 matrix's policy axis, in evaluation order.  Derived
+#: from the shared registry (:mod:`repro.policies.registry`) so the
+#: figure suite and ``repro tournament`` can never disagree on names;
+#: no policy object is instantiated to produce this tuple.
+POLICIES = analytical_policy_names() + ("greendimm",)
 
 
 @dataclass(frozen=True)
@@ -51,6 +48,21 @@ class PolicyResult:
     @property
     def key(self) -> Tuple[str, bool]:
         return (self.policy, self.interleaved)
+
+    def to_row(self, scenario: Optional[str] = None) -> PolicyRow:
+        """Flatten into the shared :class:`~repro.policies.schema.PolicyRow`.
+
+        The Figure 9/10 matrix has no explicit scenario axis, so the
+        operating point stands in for it unless the caller names one.
+        """
+        return PolicyRow(
+            policy=self.policy,
+            scenario=scenario or ("intlv" if self.interleaved else "no-intlv"),
+            runtime_s=self.runtime_s,
+            dram_power_w=self.dram_power_w,
+            dram_energy_j=self.dram_energy_j,
+            system_energy_j=self.system_energy_j,
+            overhead_fraction=self.overhead_fraction)
 
 
 def _runtimes(profile: WorkloadProfile, organization: MemoryOrganization,
@@ -100,8 +112,10 @@ def evaluate_policies(profile: WorkloadProfile,
     cpu_util = profile.cpu_utilization
     results: Dict[Tuple[str, bool], PolicyResult] = {}
 
+    baselines = {name: create_estimator(name)
+                 for name in analytical_policy_names()}
     for interleaved in (True, False):
-        for name, policy in _BASELINES.items():
+        for name, policy in baselines.items():
             estimate: BaselineEstimate = policy.estimate(
                 profile, organization, interleaved, n_copies)
             dram_w = (power_model.power(estimate.rank_profiles).total_w
@@ -117,7 +131,7 @@ def evaluate_policies(profile: WorkloadProfile,
         profile, organization, n_copies, seed)
     overhead = perf.greendimm_overhead_fraction(
         profile, off_events, on_events, profile.duration_s)
-    srf = SelfRefreshOnlyPolicy()
+    srf = baselines["srf_only"]
     for interleaved in (True, False):
         # GreenDIMM inherits the operating point's traffic shape and adds
         # sub-array deep power-down for the off-lined capacity.

@@ -100,16 +100,16 @@ def quiescent_horizon(system: "GreenDIMMSystem", now_s: float) -> float:
     """How far the *system side* of the simulation is steady, from *now_s*.
 
     Returns *now_s* itself when the system is not quiescent right now:
-    the daemon's monitor would act (free memory outside the hysteresis
-    band), KSM has registered regions to scan (or a just-completed pass
-    that would kick the monitor), or a fault rule is live.  Otherwise
-    returns the earliest future time system activity could resume — the
-    next fault-rule start, or ``inf``.
+    the active policy's monitor would act (for the daemon: free memory
+    outside the hysteresis band), KSM has registered regions to scan (or
+    a just-completed pass that would kick the monitor), or a fault rule
+    is live.  Otherwise returns the earliest future time system activity
+    could resume — the next fault-rule start, or ``inf``.
 
     Callers intersect this with their own workload-side horizon (next
     trace event, end of the footprint's flat run).
     """
-    if not system.daemon.monitor_is_noop():
+    if not system.policy.monitor_is_noop():
         return now_s
     ksm = system.ksm
     if ksm is not None and (ksm.pass_just_completed or ksm.registry.regions()):

@@ -32,6 +32,7 @@ from repro.core.config import GreenDIMMConfig
 from repro.core.system import GreenDIMMSystem
 from repro.dram.organization import DDR4_4GB_X8, MemoryOrganization
 from repro.errors import ConfigurationError
+from repro.policies.registry import DEFAULT_POLICY
 from repro.sim.server import ServerSimulator
 from repro.units import GIB, MIB
 from repro.workloads.azure import (
@@ -61,6 +62,7 @@ class FleetServerJob:
     block_bytes: int
     kernel_boot_bytes: int
     transient_failure_probability: float
+    policy: str = DEFAULT_POLICY
 
     def describe(self) -> str:
         return f"fleet-server-{self.index}"
@@ -166,6 +168,7 @@ class FleetSource:
     block_bytes: int = 512 * MIB
     kernel_boot_bytes: int = 2 * GIB
     transient_failure_probability: float = 0.5
+    policy: str = DEFAULT_POLICY
     trace: AzureTrace = field(init=False)
 
     def __post_init__(self) -> None:
@@ -230,6 +233,7 @@ class FleetSource:
             block_bytes=self.block_bytes,
             kernel_boot_bytes=self.kernel_boot_bytes,
             transient_failure_probability=self.transient_failure_probability,
+            policy=self.policy,
         ) for index in range(self.num_servers)]
 
 
@@ -240,6 +244,7 @@ def run_fleet_server(job: FleetServerJob) -> FleetServerResult:
         config=GreenDIMMConfig(block_bytes=job.block_bytes),
         kernel_boot_bytes=job.kernel_boot_bytes,
         transient_failure_probability=job.transient_failure_probability,
+        policy=job.policy,
         seed=job.system_seed)
     simulator = ServerSimulator(system, seed=job.simulator_seed)
     result = simulator.run_vm_trace(job.trace, epoch_s=job.epoch_s,

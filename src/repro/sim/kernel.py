@@ -45,7 +45,6 @@ from typing import (
 import numpy as np
 
 from repro import perfcounters
-from repro.core.daemon import DaemonStats
 from repro.errors import ConfigurationError
 from repro.ksm.content import RegionContent
 from repro.obs import residency as residency_mod
@@ -447,12 +446,12 @@ class EpochKernel:
 
         One reset path for all run shapes (``run_vm_trace`` used to
         reset ``ff_stats`` inline and leak daemon/hot-plug counters
-        across back-to-back runs): daemon stats, hot-plug stats,
+        across back-to-back runs): policy stats, hot-plug stats,
         fast-forward accounting, and the power-model cache counters all
         start clean.  The power memo itself survives — only its
         hit/miss counters reset, so energies are unaffected.
         """
-        self.system.daemon.stats = DaemonStats()
+        self.system.policy.reset_stats()
         self.system.hotplug.stats = HotplugStats()
         self.sim.ff_stats = FastForwardStats()
         self.system.power_model.cache_stats = PowerCacheStats()
@@ -481,19 +480,27 @@ class EpochKernel:
         used_pages = mm.online_pages - free_pages
         # One dpd_fraction() read feeds both the power model's cache key
         # (what system.dram_power would pass) and the sample field.
-        dpd = system.daemon.dpd_fraction()
+        policy = system.policy
+        dpd = policy.dpd_fraction()
         power = system.power_model.busy_power_cached(
             bandwidth,
             active_residency=min(1.0, bandwidth
                                  / PEAK_DRAM_BANDWIDTH_BYTES_PER_S),
             row_miss_rate=row_miss_rate,
             dpd_fraction=dpd)
+        power_w = power.total_w
+        # Costs outside the dpd projection (migration traffic): added
+        # only when nonzero, so policies without them — the GreenDIMM
+        # adapter included — leave the float stream untouched.
+        extra_w = policy.extra_power_w()
+        if extra_w:
+            power_w += extra_w
         return EpochSample(time_s=now_s,
                            used_pages=used_pages,
                            free_pages=free_pages,
-                           offline_blocks=system.daemon.offline_block_count,
+                           offline_blocks=policy.offline_block_count,
                            dpd_fraction=dpd,
-                           dram_power_w=power.total_w)
+                           dram_power_w=power_w)
 
     def _baseline_power_w(self, bandwidth: float,
                           row_miss_rate: float) -> float:
@@ -543,7 +550,7 @@ class EpochKernel:
         sim = self.sim
         system = self.system
         mm = system.mm
-        daemon = system.daemon
+        policy = system.policy
         epoch_s = clock.epoch_s
         stats = sim.ff_stats
         stats.windows += 1
@@ -556,7 +563,10 @@ class EpochKernel:
         if TRACER.enabled:
             TRACER.event("ff.enter", t_s=clock.now_s, end_s=end_s,
                          churn=churn)
-        if not churn:
+        # The batched replay below assumes the standard monitor-timer
+        # chain; a policy that cannot promise it (span_batchable unset)
+        # takes the generic per-epoch tick_quiescent loop instead.
+        if not churn and getattr(policy, "span_batchable", False):
             # No per-epoch side effects at all: replay the remaining float
             # arithmetic (monitor timer, clock, energy sums) as batched
             # np.add.accumulate chains.  ufunc.accumulate applies the add
@@ -572,13 +582,13 @@ class EpochKernel:
             dpd = template.dpd_fraction
             power_w = template.dram_power_w
             now = clock.now_s
-            period = daemon.config.monitor_period_s
+            period = policy.monitor_period_s
             if (end_s - now) / epoch_s < 48.0:
                 # Short window: the scalar chain beats the numpy batch's
                 # fixed setup cost.  Same float ops either way, so the
                 # crossover is purely a speed choice.
                 append = samples.append
-                since = daemon._since_monitor_s
+                since = policy.monitor_timer
                 skipped = 0
                 while now < end_s:
                     since += epoch_s
@@ -593,7 +603,7 @@ class EpochKernel:
                     baseline_energy += baseline_w * epoch_s
                     skipped += 1
                     now += epoch_s
-                daemon._since_monitor_s = since
+                policy.monitor_timer = since
                 clock.now_s = now
                 stats.epochs_fast_forwarded += skipped
                 residency.add_span(skipped * epoch_s, active_res, dpd)
@@ -619,8 +629,8 @@ class EpochKernel:
                     dram_energy, power_w * epoch_s, n)
                 baseline_energy = accumulate_energy(
                     baseline_energy, baseline_w * epoch_s, n)
-                daemon._since_monitor_s = monitor_timer_after(
-                    daemon._since_monitor_s, epoch_s, period, n)
+                policy.monitor_timer = monitor_timer_after(
+                    policy.monitor_timer, epoch_s, period, n)
             clock.now_s = float(times[n])
             stats.epochs_fast_forwarded += n
             # One closed-form span for the whole window: the operating
@@ -654,7 +664,7 @@ class EpochKernel:
                     break
             if template is None:
                 template = self._sample(t, bandwidth, row_miss_rate)
-            daemon.tick_quiescent(epoch_s)
+            policy.tick_quiescent(epoch_s)
             samples.append(template._replace(time_s=t))
             dram_energy += template.dram_power_w * epoch_s
             baseline_energy += baseline_w * epoch_s
@@ -686,6 +696,13 @@ class EpochKernel:
         the dynamic path at the identical simulated time either way.
         """
         system = self.system
+        # A policy that cannot prove its step() reduces to the standard
+        # timer chain between monitor fires vetoes stable spans outright
+        # (correctness first, batching second): unknown policies default
+        # to the veto via getattr.
+        policy = system.policy
+        if not getattr(policy, "span_batchable", False):
+            return 0
         ksm = system.ksm
         if ksm is not None and (ksm.pass_just_completed
                                 or ksm.registry.regions()):
@@ -696,9 +713,8 @@ class EpochKernel:
                                        injector.quiescent_until(t))
             if bound <= t:
                 return 0
-        daemon = system.daemon
-        period = daemon.config.monitor_period_s
-        since = daemon._since_monitor_s
+        period = policy.monitor_period_s
+        since = policy.monitor_timer
         n = 0
         now = t
         while now < bound:
@@ -736,7 +752,7 @@ class EpochKernel:
         sim = self.sim
         system = self.system
         mm = system.mm
-        daemon = system.daemon
+        policy = system.policy
         epoch_s = clock.epoch_s
         stats = sim.ff_stats
         stats.spans_stable += 1
@@ -754,7 +770,7 @@ class EpochKernel:
                 sim._pinned_churn(t, epoch_s)
                 if template is None or mm.free_pages != free_before:
                     template = self._sample(t, bandwidth, row_miss_rate)
-                daemon.tick_quiescent(epoch_s)
+                policy.tick_quiescent(epoch_s)
                 samples.append(template._replace(time_s=t))
                 dram_energy += template.dram_power_w * epoch_s
                 baseline_energy += baseline_w * epoch_s
@@ -766,13 +782,13 @@ class EpochKernel:
             template = self._sample(clock.now_s, bandwidth, row_miss_rate)
             power_w = template.dram_power_w
             dpd = template.dpd_fraction
-            period = daemon.config.monitor_period_s
+            period = policy.monitor_period_s
             if n < 48:
                 # Short span: the scalar chain beats the numpy batch's
                 # fixed setup cost (same crossover as the quiescent
                 # path).  Same float ops either way.
                 append = samples.append
-                since = daemon._since_monitor_s
+                since = policy.monitor_timer
                 now = clock.now_s
                 for _ in range(n):
                     since += epoch_s
@@ -782,7 +798,7 @@ class EpochKernel:
                     dram_energy += power_w * epoch_s
                     baseline_energy += baseline_w * epoch_s
                     now += epoch_s
-                daemon._since_monitor_s = since
+                policy.monitor_timer = since
                 clock.now_s = now
             else:
                 times, final = batched_times(clock.now_s, epoch_s, n)
@@ -791,8 +807,8 @@ class EpochKernel:
                     dram_energy, power_w * epoch_s, n)
                 baseline_energy = accumulate_energy(
                     baseline_energy, baseline_w * epoch_s, n)
-                daemon._since_monitor_s = monitor_timer_after(
-                    daemon._since_monitor_s, epoch_s, period, n)
+                policy.monitor_timer = monitor_timer_after(
+                    policy.monitor_timer, epoch_s, period, n)
                 clock.now_s = final
             # One closed-form span (constant operating point): equals
             # the per-epoch sum up to float rounding, the same approx

@@ -245,7 +245,7 @@ class ServerSimulator:
                 except AllocationError:
                     if not emergency:
                         break
-                    if not self.system.daemon.emergency_online(need, now_s):
+                    if not self.system.policy.emergency_online(need, now_s):
                         break
             available = max(0, mm.free_pages - 16)
             if available > 0:
@@ -348,11 +348,18 @@ class ServerSimulator:
         run = self.kernel.run(source, epoch_s=epoch_s, warmup_s=warmup_s,
                               pinned_churn=pinned_churn)
 
-        stats = self.system.daemon.stats
+        policy = self.system.policy
+        stats = policy.stats
         overhead = self.perf.greendimm_overhead_fraction(
             profile, stats.offline_events, stats.online_events,
             profile.duration_s)
         overhead += run.swap_stall_s / profile.duration_s
+        # Policy-declared runtime dilation (monitoring/migration
+        # interference): added only when nonzero so the daemon's float
+        # stream is untouched.
+        policy_overhead = policy.runtime_overhead_fraction()
+        if policy_overhead:
+            overhead += policy_overhead
         return WorkloadRunResult(
             profile_name=profile.name,
             elapsed_s=profile.duration_s,
@@ -388,7 +395,7 @@ class ServerSimulator:
             dram_energy_j=run.dram_energy_j,
             baseline_dram_energy_j=run.baseline_dram_energy_j,
             ksm_saved_pages_final=(ksm.total_saved_pages if ksm else 0),
-            emergency_onlines=self.system.daemon.stats.emergency_onlines,
+            emergency_onlines=self.system.policy.stats.emergency_onlines,
             residency=run.residency)
 
     # --- co-located runs --------------------------------------------------------
@@ -409,12 +416,17 @@ class ServerSimulator:
         run = self.kernel.run(source, epoch_s=epoch_s, warmup_s=warmup_s,
                               pinned_churn=pinned_churn)
 
-        stats = self.system.daemon.stats
+        policy = self.system.policy
+        stats = policy.stats
+        policy_overhead = policy.runtime_overhead_fraction()
         overheads = {}
         for profile in profiles:
             overhead = self.perf.greendimm_overhead_fraction(
                 profile, stats.offline_events, stats.online_events, duration)
-            overheads[profile.name] = overhead + run.swap_stall_s / duration
+            overhead += run.swap_stall_s / duration
+            if policy_overhead:
+                overhead += policy_overhead
+            overheads[profile.name] = overhead
         # Same energy convention as run_workload: runtime dilation from
         # GreenDIMM interference scales consumed energy.  A co-located run
         # is elongated by its slowest tenant, so the worst overhead applies.

@@ -28,6 +28,7 @@ from repro.faults.context import (
     drain_fault_counts,
     get_active_plan,
 )
+from repro.policies.registry import policy_names
 from repro.units import MIB
 
 
@@ -362,3 +363,43 @@ class TestDeterminism:
             [ExperimentJob("tab1", fast=True)])[0]
         assert outcome.ok
         assert not outcome.faults
+
+
+class TestPoliciesUnderStorm:
+    """Every in-kernel power policy must survive a seeded fault storm.
+
+    The storm batters the hot-plug and allocation paths; policies that
+    never off-line blocks still face the allocation-pressure spikes.
+    The run must complete (no wedged online/offline loops), faults must
+    actually be injected, and the policy's power view must stay sane.
+    """
+
+    @pytest.mark.parametrize("policy", policy_names())
+    def test_storm_run_completes(self, policy):
+        import dataclasses
+
+        from repro.sim.server import ServerSimulator
+        from repro.workloads.registry import profile_by_name
+
+        plan = storm_plan(303, intensity=4.0, duration_s=60.0,
+                          num_blocks=32)
+        org = MemoryOrganization(device=DDR4_4GB_X8, channels=2,
+                                 dimms_per_channel=1, ranks_per_dimm=2)
+        system = make_system(plan=plan, policy=policy, organization=org)
+        simulator = ServerSimulator(system, seed=5)
+        profile = dataclasses.replace(profile_by_name("429.mcf"),
+                                      duration_s=60.0)
+        result = simulator.run_workload(profile, epoch_s=1.0)
+
+        assert result.samples, "the run must produce epoch samples"
+        assert system.fault_injector is not None
+        assert system.fault_injector.stats.total > 0, \
+            "the storm must actually inject faults"
+        assert 0.0 <= system.policy.dpd_fraction() <= 1.0
+        assert result.dram_energy_j > 0.0
+        assert result.baseline_dram_energy_j >= result.dram_energy_j > 0.0 \
+            or system.policy.extra_power_w() > 0.0
+        # The policy's stats surface stays live after the storm and no
+        # emergency/online loop wedged the daemon mid-transition.
+        assert math.isfinite(system.policy.stats.busy_s)
+        assert isinstance(system.policy.monitor_is_noop(), bool)

@@ -1,0 +1,274 @@
+"""The PowerPolicy plug-in layer: registry, adapter, schema, tournament."""
+
+import dataclasses
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.config import GreenDIMMConfig
+from repro.core.system import GreenDIMMSystem
+from repro.dram.device import DDR4_4GB_X8
+from repro.dram.organization import MemoryOrganization
+from repro.errors import ConfigurationError
+from repro.policies import (
+    DEFAULT_POLICY,
+    PolicyRow,
+    PowerPolicy,
+    analytical_policy_names,
+    create_estimator,
+    create_policy,
+    get_active_policy,
+    policy_names,
+    policy_scope,
+    policy_spec,
+    render_rows,
+)
+from repro.sim.server import ServerSimulator
+from repro.units import MIB
+from repro.workloads.registry import profile_by_name
+
+
+def small_system(policy=None, **kwargs) -> GreenDIMMSystem:
+    org = MemoryOrganization(device=DDR4_4GB_X8, channels=2,
+                             dimms_per_channel=1, ranks_per_dimm=2)
+    defaults = dict(organization=org,
+                    config=GreenDIMMConfig(block_bytes=64 * MIB),
+                    kernel_boot_bytes=256 * MIB,
+                    transient_failure_probability=0.0,
+                    policy=policy, seed=3)
+    defaults.update(kwargs)
+    return GreenDIMMSystem(**defaults)
+
+
+def short_profile(name="429.mcf", duration_s=60.0):
+    return dataclasses.replace(profile_by_name(name), duration_s=duration_s)
+
+
+class TestRegistry:
+    def test_canonical_order_and_default(self):
+        names = policy_names()
+        assert names[:4] == ("srf_only", "ramzzz", "pasr", "greendimm")
+        assert DEFAULT_POLICY in names
+        assert analytical_policy_names() == ("srf_only", "ramzzz", "pasr")
+
+    def test_experiment_policies_tuple_derives_from_registry(self):
+        from repro.sim.experiment import POLICIES
+
+        assert POLICIES == ("srf_only", "ramzzz", "pasr", "greendimm")
+
+    def test_unknown_policy_rejected_with_catalog(self):
+        with pytest.raises(ConfigurationError, match="srf_only"):
+            policy_spec("bogus")
+        with pytest.raises(ConfigurationError):
+            create_estimator("bogus")
+
+    def test_no_estimator_for_kernel_only_policy(self):
+        with pytest.raises(ConfigurationError, match="no closed-form"):
+            create_estimator("rank-migration")
+
+    def test_registration_is_lazy(self):
+        # Importing the registry (or the experiment module) must not
+        # instantiate any policy or estimator; a fresh interpreter
+        # proves it without depending on this process's import state.
+        code = (
+            "import sys\n"
+            "import repro.sim.experiment\n"
+            "import repro.policies.registry\n"
+            "assert repro.sim.experiment.POLICIES\n"
+            "banned = ['repro.policies.greendimm', 'repro.policies.srf',\n"
+            "          'repro.policies.pasr', 'repro.policies.ramzzz',\n"
+            "          'repro.policies.migration',\n"
+            "          'repro.policies.demotion']\n"
+            "loaded = [m for m in banned if m in sys.modules]\n"
+            "assert not loaded, loaded\n")
+        subprocess.run([sys.executable, "-c", code], check=True)
+
+    def test_every_policy_satisfies_the_protocol(self):
+        system = small_system()
+        for name in policy_names():
+            policy = create_policy(name, system)
+            assert isinstance(policy, PowerPolicy)
+            assert policy.name == name
+
+
+class TestGreenDIMMAdapter:
+    def test_stats_surface_is_the_daemons(self):
+        system = small_system(policy="greendimm")
+        assert system.policy.stats is system.daemon.stats
+        system.policy.reset_stats()
+        assert system.policy.stats is system.daemon.stats
+
+    def test_monitor_timer_wraps_the_daemon_field(self):
+        system = small_system(policy="greendimm")
+        system.policy.monitor_timer = 1.5
+        assert system.daemon._since_monitor_s == 1.5
+        assert system.policy.monitor_timer == 1.5
+
+    def test_adapter_adds_no_power_terms(self):
+        system = small_system(policy="greendimm")
+        assert system.policy.extra_power_w() == 0.0
+        assert system.policy.runtime_overhead_fraction() == 0.0
+
+
+class TestPolicySelection:
+    def test_explicit_name_wins(self):
+        system = small_system(policy="pasr")
+        assert system.policy_name == "pasr"
+        assert system.policy.name == "pasr"
+
+    def test_ambient_context_reaches_new_systems(self):
+        with policy_scope("srf_only"):
+            assert get_active_policy() == "srf_only"
+            system = small_system()
+            assert system.policy_name == "srf_only"
+        assert get_active_policy() is None
+        assert small_system().policy_name == DEFAULT_POLICY
+
+    def test_job_config_hash_keys_on_policy(self):
+        from repro.runner import ExperimentJob
+
+        plain = ExperimentJob("tab1", fast=True)
+        tagged = ExperimentJob("tab1", fast=True, policy="pasr")
+        assert plain.config_hash() != tagged.config_hash()
+        assert plain.describe() == "tab1 (fast)"
+        assert tagged.describe() == "tab1 (fast, policy=pasr)"
+
+
+class TestInKernelPolicies:
+    @pytest.mark.parametrize("name", policy_names())
+    def test_short_run_produces_sane_power(self, name):
+        system = small_system(policy=name)
+        simulator = ServerSimulator(system, seed=5)
+        result = simulator.run_workload(short_profile(), epoch_s=1.0)
+        assert result.samples
+        assert result.dram_energy_j > 0.0
+        assert 0.0 <= system.policy.dpd_fraction() <= 1.0
+        for sample in result.samples:
+            assert 0.0 <= sample.dpd_fraction <= 1.0
+
+    @pytest.mark.parametrize("name", policy_names())
+    def test_fast_forward_matches_per_epoch(self, name):
+        def energy(fast_forward):
+            system = small_system(policy=name)
+            simulator = ServerSimulator(system, seed=5,
+                                        fast_forward=fast_forward)
+            result = simulator.run_workload(short_profile(), epoch_s=1.0)
+            return (result.dram_energy_j, result.baseline_dram_energy_j,
+                    [s.dpd_fraction for s in result.samples])
+
+        assert energy(True) == energy(False)
+
+    def test_rank_policies_save_energy_when_ranks_idle(self):
+        for name in ("srf_only", "ramzzz", "pasr"):
+            system = small_system(policy=name)
+            simulator = ServerSimulator(system, seed=5)
+            result = simulator.run_workload(short_profile(), epoch_s=1.0)
+            assert result.dram_energy_saving > 0.0, name
+
+
+class TestSchema:
+    def test_round_trip_with_extras(self):
+        row = PolicyRow(policy="pasr", scenario="steady", runtime_s=10.0,
+                        dram_energy_j=5.0, baseline_dram_energy_j=8.0,
+                        dram_energy_saving=0.375,
+                        extras={"mean_dpd_fraction": 0.5})
+        back = PolicyRow.from_mapping(row.as_dict())
+        assert back == dataclasses.replace(row, extras=dict(row.extras))
+
+    def test_policy_result_and_estimate_share_the_schema(self):
+        from repro.baselines.srf_only import SelfRefreshOnlyPolicy
+        from repro.sim.experiment import PolicyResult
+
+        result = PolicyResult(policy="pasr", interleaved=False,
+                              runtime_s=60.0, dram_power_w=2.0,
+                              dram_energy_j=120.0, system_energy_j=480.0)
+        row = result.to_row()
+        assert (row.policy, row.scenario) == ("pasr", "no-intlv")
+        assert row.dram_energy_j == 120.0
+
+        org = MemoryOrganization(device=DDR4_4GB_X8, channels=2,
+                                 dimms_per_channel=1, ranks_per_dimm=2)
+        estimate = SelfRefreshOnlyPolicy().estimate(
+            profile_by_name("429.mcf"), org, False, 1)
+        erow = estimate.to_row(scenario="fig9")
+        assert erow.scenario == "fig9"
+        assert "runtime_factor" in erow.extras
+        assert set(row.as_dict()) >= {"policy", "scenario", "dram_energy_j"}
+
+    def test_render_rows_is_a_table(self):
+        table = render_rows("t", [PolicyRow(policy="p", scenario="s")])
+        assert "policy" in table.render()
+
+
+class TestTournament:
+    def test_fast_matrix_and_ranking_consistency(self):
+        from repro.experiments.tournament import (
+            analytical_ranking,
+            kernel_ranking,
+            run,
+        )
+
+        result = run(fast=True, policies=("srf_only", "ramzzz", "pasr",
+                                          "greendimm"),
+                     scenarios=("steady",))
+        assert result.measured["cells"] == 4
+        assert result.measured["ranking_consistent"] is True
+        ranking = analytical_ranking()
+        assert set(ranking) == set(analytical_policy_names())
+        rows = [PolicyRow(policy="srf_only", scenario="steady",
+                          dram_energy_saving=0.1),
+                PolicyRow(policy="pasr", scenario="steady",
+                          dram_energy_saving=0.3)]
+        assert kernel_ranking(rows) == ["pasr", "srf_only"]
+
+    def test_unknown_names_rejected(self):
+        from repro.experiments.tournament import run
+
+        with pytest.raises(ConfigurationError):
+            run(fast=True, policies=("bogus",))
+        with pytest.raises(ConfigurationError):
+            run(fast=True, scenarios=("bogus",))
+
+    def test_parallel_matches_serial(self):
+        from repro.experiments.tournament import run
+
+        kwargs = dict(fast=True, policies=("greendimm", "pasr"),
+                      scenarios=("steady",))
+        assert (run(workers=1, **kwargs).measured
+                == run(workers=2, **kwargs).measured)
+
+    def test_cli_smoke(self, tmp_path):
+        from repro.cli import main
+
+        metrics = tmp_path / "tournament.jsonl"
+        report = tmp_path / "tournament.md"
+        code = main(["tournament", "--fast",
+                     "--policies", "greendimm", "--policies", "pasr",
+                     "--scenarios", "steady",
+                     "--metrics", str(metrics), "--report", str(report)])
+        assert code == 0
+        assert metrics.exists()
+        text = report.read_text()
+        assert "Policy tournament" in text
+        assert "greendimm" in text
+
+
+class TestGoldenDivergence:
+    def test_golden_scenarios_catch_a_diverging_policy(self):
+        # The CI must-fail step in script form: replaying a golden
+        # scenario under any non-GreenDIMM policy must change the
+        # canonical float stream, proving the golden suite would catch
+        # an adapter that silently routed to the wrong policy.
+        import json
+        import pathlib
+
+        from tests.kernel_scenarios import SCENARIOS
+
+        golden = json.loads(
+            (pathlib.Path(__file__).parent / "golden"
+             / "kernel_golden.json").read_text())
+        name = "workload_nochurn"
+        with policy_scope("pasr"):
+            diverged = SCENARIOS[name](True)
+        assert diverged != golden[name]["fast"]
