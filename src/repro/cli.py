@@ -27,6 +27,12 @@ figures run|check|bless [--fast] [--only ID] [--expected-dir DIR]
                         committed expectations (check exits non-zero on
                         drift; bless re-pins after an intentional change)
 faults storm|show       generate or inspect deterministic fault plans
+serve [--servers N] [--workers N] [--port P] [--policy NAME] [--ksm]
+                        keep a resident simulator fleet warm behind a
+                        REST/JSON control plane
+ctl <action> [...]      drive a running service: status, servers,
+                        ingest, advance, snapshot/restore, migrate,
+                        fault, retune, reshard, shutdown
 topology [--capacity]   show a platform's geometry and power envelope
 """
 
@@ -411,6 +417,98 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import FleetService, serve
+
+    service = FleetService(num_servers=args.servers,
+                           num_workers=args.workers,
+                           policy=args.policy, seed=args.seed,
+                           epoch_s=args.epoch, enable_ksm=args.ksm,
+                           pinned_churn=args.churn)
+    try:
+        asyncio.run(serve(service, host=args.host, port=args.port))
+    except KeyboardInterrupt:
+        print("repro service: interrupted, shutting down", file=sys.stderr)
+    return 0
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, object]:
+    """``key=value`` pairs -> typed config overrides."""
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ReproError(f"expected key=value, got {pair!r}")
+        value: object
+        if raw.lower() in ("true", "false"):
+            value = raw.lower() == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        overrides[key] = value
+    return overrides
+
+
+def cmd_ctl(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.service import ControlClient
+
+    client = ControlClient(args.url)
+    action = args.action
+    if action == "status":
+        result = client.status()
+    elif action == "servers":
+        result = client.servers()
+    elif action == "server":
+        result = client.server(args.index)
+    elif action == "events":
+        result = client.events(args.index, limit=args.n)
+    elif action == "ingest":
+        result = client.ingest(vm_id=args.vm_id,
+                               memory_bytes=int(args.memory_gib * GIB),
+                               time_s=args.time,
+                               lifetime_s=args.lifetime,
+                               vcpus=args.vcpus, image_id=args.image)
+    elif action == "depart":
+        result = client.depart(args.vm_id, time_s=args.time)
+    elif action == "advance":
+        result = (client.advance(dt_s=args.dt) if args.dt is not None
+                  else client.advance(until_s=args.until))
+    elif action == "snapshot":
+        blob = client.snapshot(args.index)
+        pathlib.Path(args.out).write_bytes(blob)
+        result = {"server": args.index, "out": args.out,
+                  "bytes": len(blob)}
+    elif action == "restore":
+        blob = pathlib.Path(args.snapshot_file).read_bytes()
+        result = client.restore(args.index, blob)
+    elif action == "migrate":
+        result = client.migrate(args.index, args.worker)
+    elif action == "fault":
+        plan = json.loads(pathlib.Path(args.plan_file).read_text())
+        result = client.inject_fault_plan(args.index, plan)
+    elif action == "retune":
+        result = client.retune(_parse_overrides(args.overrides),
+                               server=args.server)
+    elif action == "reshard":
+        result = client.reshard(args.workers)
+    elif action == "shutdown":
+        result = client.shutdown()
+    else:  # pragma: no cover - argparse enforces choices
+        raise ReproError(f"unknown ctl action {action!r}")
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_validate(_args: argparse.Namespace) -> int:
     from repro.validate import render_validation, run_validation
 
@@ -623,6 +721,88 @@ def build_parser() -> argparse.ArgumentParser:
     show_p.add_argument("plan_file")
     show_p.set_defaults(func=cmd_faults)
 
+    serve_p = sub.add_parser(
+        "serve", help="run a resident simulator fleet with a REST "
+                      "control plane")
+    serve_p.add_argument("--servers", type=int, default=4, metavar="N")
+    serve_p.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="logical worker shards (elastic at runtime "
+                              "via 'repro ctl reshard')")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8023)
+    serve_p.add_argument("--policy", default=None,
+                         help="power policy for every server "
+                              "(default: greendimm)")
+    serve_p.add_argument("--seed", type=int, default=7)
+    serve_p.add_argument("--epoch", type=float, default=5.0,
+                         metavar="SECONDS")
+    serve_p.add_argument("--ksm", action="store_true",
+                         help="enable KSM on every server")
+    serve_p.add_argument("--churn", action="store_true",
+                         help="enable pinned-page churn on every server")
+    serve_p.set_defaults(func=cmd_serve, policy="greendimm")
+
+    ctl_p = sub.add_parser(
+        "ctl", help="control a running 'repro serve' fleet")
+    ctl_p.add_argument("--url", default="http://127.0.0.1:8023",
+                       help="service base URL")
+    ctl_sub = ctl_p.add_subparsers(dest="action", required=True)
+    ctl_sub.add_parser("status", help="fleet summary")
+    ctl_sub.add_parser("servers", help="per-server summaries")
+    one_p = ctl_sub.add_parser("server", help="one server's detail")
+    one_p.add_argument("index", type=int)
+    events_p = ctl_sub.add_parser("events", help="daemon decision log")
+    events_p.add_argument("index", type=int)
+    events_p.add_argument("-n", type=int, default=20,
+                          help="events to show")
+    ingest_p = ctl_sub.add_parser("ingest", help="admit a VM")
+    ingest_p.add_argument("vm_id", type=int)
+    ingest_p.add_argument("memory_gib", type=float)
+    ingest_p.add_argument("--time", type=float, default=None,
+                          help="arrival time (default: service now)")
+    ingest_p.add_argument("--lifetime", type=float, default=None,
+                          help="seconds until automatic departure")
+    ingest_p.add_argument("--vcpus", type=int, default=2)
+    ingest_p.add_argument("--image", type=int, default=0,
+                          help="image id (shared content for KSM)")
+    depart_p = ctl_sub.add_parser("depart", help="retire a VM")
+    depart_p.add_argument("vm_id", type=int)
+    depart_p.add_argument("--time", type=float, default=None)
+    advance_p = ctl_sub.add_parser("advance",
+                                   help="tick the fleet clock")
+    advance_group = advance_p.add_mutually_exclusive_group(required=True)
+    advance_group.add_argument("--until", type=float, metavar="SECONDS")
+    advance_group.add_argument("--dt", type=float, metavar="SECONDS")
+    snap_p = ctl_sub.add_parser("snapshot",
+                                help="checkpoint a server to a file")
+    snap_p.add_argument("index", type=int)
+    snap_p.add_argument("-o", "--out", required=True, metavar="FILE")
+    restore_p = ctl_sub.add_parser(
+        "restore", help="restore a server from a checkpoint file")
+    restore_p.add_argument("index", type=int)
+    restore_p.add_argument("snapshot_file")
+    migrate_p = ctl_sub.add_parser(
+        "migrate", help="move a server to another worker")
+    migrate_p.add_argument("index", type=int)
+    migrate_p.add_argument("worker", type=int)
+    fault_p = ctl_sub.add_parser(
+        "fault", help="arm a fault plan on a live server")
+    fault_p.add_argument("index", type=int)
+    fault_p.add_argument("plan_file", help="fault plan JSON "
+                                           "(see 'repro faults storm')")
+    retune_p = ctl_sub.add_parser(
+        "retune", help="retune daemon thresholds without restart")
+    retune_p.add_argument("overrides", nargs="+", metavar="key=value",
+                          help="GreenDIMMConfig fields, e.g. "
+                               "off_thr_fraction=0.15")
+    retune_p.add_argument("--server", type=int, default=None,
+                          help="one server (default: whole fleet)")
+    reshard_p = ctl_sub.add_parser(
+        "reshard", help="change the worker count (checkpoint-based)")
+    reshard_p.add_argument("workers", type=int)
+    ctl_sub.add_parser("shutdown", help="stop the service")
+    ctl_p.set_defaults(func=cmd_ctl)
+
     top_p = sub.add_parser("topology", help="inspect a platform")
     top_p.add_argument("--capacity", type=int, default=0)
     top_p.set_defaults(func=cmd_topology)
@@ -633,14 +813,37 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _install_sigterm_handler() -> None:
+    """Route SIGTERM through the KeyboardInterrupt path.
+
+    A polite ``kill`` then behaves like Ctrl-C: pools cancel queued
+    work, the metrics stream records an interrupted ``suite_end``, and
+    the exit code is non-zero — instead of dying mid-write with the
+    JSONL stream reading as a complete run.
+    """
+    import signal
+
+    def _raise(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # not the main thread (embedded use)
+        pass
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _install_sigterm_handler()
     try:
         return args.func(args)
     except ReproError as err:
         print(f"error: {err}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -316,6 +316,29 @@ class GreenDIMMDaemon:
                 self._record(DaemonEvent(now_s, "emergency", block))
         return len(onlined)
 
+    # --- checkpoint/restore ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything that moves at runtime: counters, the bounded event
+        history, the monitor timer, the backoff/quarantine embargoes, the
+        selector's stale view + RNG, and the (retunable) config."""
+        return {"config": self.config,
+                "stats": self.stats,
+                "event_log": self.event_log,
+                "since_monitor_s": self._since_monitor_s,
+                "fail_streak": self._fail_streak,
+                "retry_at": self._retry_at,
+                "selector": self.selector.state_dict()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.config = state["config"]
+        self.stats = state["stats"]
+        self.event_log = state["event_log"]
+        self._since_monitor_s = state["since_monitor_s"]
+        self._fail_streak = state["fail_streak"]
+        self._retry_at = state["retry_at"]
+        self.selector.load_state_dict(state["selector"])
+
     # --- views --------------------------------------------------------------------
 
     @property

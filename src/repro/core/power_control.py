@@ -127,6 +127,24 @@ class GreenDIMMPowerControl:
                              groups=broken)
         return broken
 
+    # --- checkpoint/restore ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {"register": self.register.state_dict(),
+                "mode_registers": self.mode_registers.state_dict(),
+                "offline_blocks": self._offline_blocks,
+                "soa": self.soa.state_dict(),
+                "wakeup_wait_s": self.wakeup_wait_s,
+                "mrs_time_ns": self.mrs_time_ns}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.register.load_state_dict(state["register"])
+        self.mode_registers.load_state_dict(state["mode_registers"])
+        self._offline_blocks = state["offline_blocks"]
+        self.soa.load_state_dict(state["soa"])
+        self.wakeup_wait_s = state["wakeup_wait_s"]
+        self.mrs_time_ns = state["mrs_time_ns"]
+
     # --- power accounting --------------------------------------------------
 
     @property

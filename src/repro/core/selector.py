@@ -69,6 +69,16 @@ class BlockSelector:
             "removable": {b for b in pool if removable_mask[b]},
         }
 
+    # --- checkpoint/restore --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The stale sysfs snapshot plus the RANDOM-policy shuffle RNG."""
+        return {"rng": self.rng.getstate(), "snapshot": self._snapshot}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rng.setstate(state["rng"])
+        self._snapshot = state["snapshot"]
+
     def candidates(self, count: int,
                    exclude: Collection[int] = ()) -> List[int]:
         """Up to *count* blocks to attempt off-lining, in attempt order.

@@ -7,6 +7,7 @@ register, KSM, and daemon by hand.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from typing import Optional
 
@@ -96,6 +97,102 @@ class GreenDIMMSystem:
         self.policy_name = (policy if policy is not None
                             else get_active_policy() or DEFAULT_POLICY)
         self.policy = create_policy(self.policy_name, self)
+
+    # --- runtime reconfiguration -------------------------------------------
+
+    def install_fault_plan(self, plan: FaultPlan, now_s: float = 0.0) -> None:
+        """Arm (or replace) a fault plan on a *live* system.
+
+        Rebuilds the fault wrappers around the unwrapped core components
+        and re-points every consumer that captured the old surfaces at
+        construction time (the daemon and its block selector).  KSM and
+        sysfs deliberately keep talking to the unwrapped core, exactly as
+        in ``__init__``.
+        """
+        core_mm = getattr(self.mm, "inner", self.mm)
+        core_hotplug = getattr(self.hotplug, "inner", self.hotplug)
+        core_power_control = getattr(self.power_control, "inner",
+                                     self.power_control)
+        self.fault_plan = plan
+        self.fault_injector = FaultInjector(plan)
+        self.fault_injector.advance(now_s)
+        self.mm, self.hotplug, self.power_control = wrap_system_components(
+            core_mm, core_hotplug, core_power_control, self.fault_injector)
+        self.daemon.mm = self.mm
+        self.daemon.hotplug = self.hotplug
+        self.daemon.power_control = self.power_control
+        self.daemon.selector.hotplug = self.hotplug
+
+    def retune(self, **overrides) -> GreenDIMMConfig:
+        """Replace config fields (e.g. daemon thresholds) without restart.
+
+        ``dataclasses.replace`` re-runs the config's own validation; the
+        daemon's hysteresis invariants are re-checked here the same way
+        its constructor checks them.  Returns the new config.
+        """
+        from repro.errors import ConfigurationError
+        config = dataclasses.replace(self.config, **overrides)
+        if config.on_thr_fraction >= config.off_thr_fraction:
+            raise ConfigurationError(
+                "on_thr must stay below off_thr for hysteresis")
+        core_mm = getattr(self.mm, "inner", self.mm)
+        if (round(config.on_thr_fraction * core_mm.total_pages)
+                >= round(config.off_thr_fraction * core_mm.total_pages)):
+            raise ConfigurationError(
+                "on_thr and off_thr collapse to the same page count")
+        self.config = config
+        self.daemon.config = config
+        return config
+
+    # --- checkpoint/restore --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The whole server-side state tree (live references — the caller
+        pickles immediately; see :mod:`repro.sim.snapshot`)."""
+        core_mm = getattr(self.mm, "inner", self.mm)
+        core_hotplug = getattr(self.hotplug, "inner", self.hotplug)
+        core_power_control = getattr(self.power_control, "inner",
+                                     self.power_control)
+        return {
+            "config": self.config,
+            "mm": core_mm.state_dict(),
+            "hotplug": core_hotplug.state_dict(),
+            "power_control": core_power_control.state_dict(),
+            "daemon": self.daemon.state_dict(),
+            "policy": self.policy.state_dict(),
+            "ksm": self.ksm.state_dict() if self.ksm is not None else None,
+            "fault_plan": self.fault_plan,
+            "fault_injector": (self.fault_injector.state_dict()
+                               if self.fault_injector is not None else None),
+            "power_model": self.power_model.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Adopt a captured state tree onto this (freshly built) system.
+
+        Component objects keep their identity — only their internal state
+        is replaced — so all cross-wiring (daemon -> selector, sysfs ->
+        hot-plug, policy -> system) survives.  A snapshot taken after a
+        runtime :meth:`install_fault_plan` re-arms the plan here.
+        """
+        self.config = state["config"]
+        core_mm = getattr(self.mm, "inner", self.mm)
+        core_hotplug = getattr(self.hotplug, "inner", self.hotplug)
+        core_power_control = getattr(self.power_control, "inner",
+                                     self.power_control)
+        core_mm.load_state_dict(state["mm"])
+        core_hotplug.load_state_dict(state["hotplug"])
+        core_power_control.load_state_dict(state["power_control"])
+        if state["fault_injector"] is not None:
+            if (self.fault_injector is None
+                    or self.fault_plan is not state["fault_plan"]):
+                self.install_fault_plan(state["fault_plan"])
+            self.fault_injector.load_state_dict(state["fault_injector"])
+        self.daemon.load_state_dict(state["daemon"])
+        self.policy.load_state_dict(state["policy"])
+        if self.ksm is not None and state["ksm"] is not None:
+            self.ksm.load_state_dict(state["ksm"])
+        self.power_model.load_state_dict(state["power_model"])
 
     # --- stepping ----------------------------------------------------------
 

@@ -84,3 +84,7 @@ class PowerStateError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine was driven into an invalid state."""
+
+
+class SnapshotError(ReproError):
+    """A checkpoint could not be captured, decoded, or restored."""

@@ -147,3 +147,26 @@ class FaultInjector:
     def exhausted(self) -> bool:
         """True once every non-sticky rule has spent its budget."""
         return all(r == 0 for r in self._remaining if r >= 0)
+
+    # --- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Injection position: clock, per-rule budgets, fired events, and
+        the quiescence calendar (so a restore mid-storm resumes with the
+        identical active/future window split)."""
+        return {"now_s": self.clock.now_s,
+                "remaining": self._remaining,
+                "stats": self.stats,
+                "events": self.events,
+                "future_windows": self._future_windows,
+                "active_windows": self._active_windows,
+                "window_query_s": self._window_query_s}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.clock.now_s = state["now_s"]
+        self._remaining = state["remaining"]
+        self.stats = state["stats"]
+        self.events = state["events"]
+        self._future_windows = state["future_windows"]
+        self._active_windows = state["active_windows"]
+        self._window_query_s = state["window_query_s"]

@@ -124,6 +124,34 @@ class KSMDaemon:
     def total_saved_pages(self) -> int:
         return sum(s.merged_pages for s in self._shares.values())
 
+    # --- checkpoint/restore ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Registry regions (with their scan cursors), both trees, share
+        accounting, and the CoW RNG.  The region objects are shared with
+        whatever registered them (e.g. the trace source) — the one-pickle
+        snapshot keeps that sharing intact."""
+        return {"registry": self.registry.state_dict(),
+                "stable": self.stable.state_dict(),
+                "unstable": self.unstable.state_dict(),
+                "stats": self.stats,
+                "shares": self._shares,
+                "merged_chunks": self._merged_chunks,
+                "zero_sharers": self._zero_sharers,
+                "pass_just_completed": self.pass_just_completed,
+                "rng": self.rng.getstate()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.registry.load_state_dict(state["registry"])
+        self.stable.load_state_dict(state["stable"])
+        self.unstable.load_state_dict(state["unstable"])
+        self.stats = state["stats"]
+        self._shares = state["shares"]
+        self._merged_chunks = state["merged_chunks"]
+        self._zero_sharers = state["zero_sharers"]
+        self.pass_just_completed = state["pass_just_completed"]
+        self.rng.setstate(state["rng"])
+
     # --- the scan loop -----------------------------------------------------
 
     def step(self, dt_s: float) -> int:

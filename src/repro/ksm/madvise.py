@@ -59,3 +59,9 @@ class MadviseRegistry:
     @property
     def total_pages(self) -> int:
         return sum(r.total_pages for r in self._regions.values())
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"regions": self._regions}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._regions = state["regions"]

@@ -101,6 +101,16 @@ class _Treap:
 
         yield from _walk(self._root)
 
+    def state_dict(self) -> dict:
+        """Node graph + priority RNG (node objects pickle wholesale)."""
+        return {"root": self._root, "rng": self._rng.getstate(),
+                "size": self._size}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._root = state["root"]
+        self._rng.setstate(state["rng"])
+        self._size = state["size"]
+
     @staticmethod
     def _rotate_right(node: _Node) -> _Node:
         pivot = node.left
@@ -180,6 +190,12 @@ class StableTree:
     def fingerprints(self) -> Iterator[int]:
         return self._tree.keys()
 
+    def state_dict(self) -> dict:
+        return self._tree.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self._tree.load_state_dict(state)
+
 
 class UnstableTree:
     """Candidate pages whose checksum was stable across passes.
@@ -209,3 +225,9 @@ class UnstableTree:
     def reset(self) -> None:
         """Drop the whole tree at the end of a scan pass."""
         self._tree.clear()
+
+    def state_dict(self) -> dict:
+        return self._tree.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self._tree.load_state_dict(state)

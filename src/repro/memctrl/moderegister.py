@@ -124,3 +124,11 @@ class ModeRegisterFile:
     def command_counts(self) -> Dict[int, int]:
         return {rank: state.mrs_commands
                 for rank, state in enumerate(self._ranks)}
+
+    # --- checkpoint/restore -----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"ranks": self._ranks}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._ranks = state["ranks"]

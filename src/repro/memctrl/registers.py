@@ -92,3 +92,13 @@ class GreenDIMMControlRegister:
     def raw_value(self) -> int:
         """The 64-bit register value (for sysfs-style inspection)."""
         return self._gated
+
+    # --- checkpoint/restore -----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"gated": self._gated,
+                "wake_ready_at_ns": self._wake_ready_at_ns}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._gated = state["gated"]
+        self._wake_ready_at_ns = state["wake_ready_at_ns"]

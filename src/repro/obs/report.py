@@ -74,6 +74,20 @@ def _joules(value: float) -> str:
 # --- event digestion ----------------------------------------------------------
 
 
+def _event_order(event: Dict[str, object]) -> "tuple[int, float]":
+    """Sort key for the event stream: monotonic first, wall-clock after.
+
+    ``ts_mono`` is immune to wall-clock steps (NTP, suspend/resume)
+    that can reorder ``ts``; older streams without it fall back to the
+    wall clock, and the stable sort keeps their file order on ties.
+    """
+    mono = event.get("ts_mono")
+    if isinstance(mono, (int, float)):
+        return (0, float(mono))
+    ts = event.get("ts")
+    return (1, float(ts) if isinstance(ts, (int, float)) else 0.0)
+
+
 def _job_ends(events: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
     return [e for e in events if e.get("event") == "job_end"]
 
@@ -134,6 +148,7 @@ def build_report(events: Sequence[Dict[str, object]],
                  title: str = "GreenDIMM run report") -> str:
     """Render the markdown report for one metrics-event stream."""
     sections: List[str] = [f"# {title}"]
+    events = sorted(events, key=_event_order)
     jobs = _job_ends(events)
     suite = next((e for e in reversed(events)
                   if e.get("event") == "suite_end"), None)
@@ -154,6 +169,11 @@ def build_report(events: Sequence[Dict[str, object]],
         ]
         section = ["## Suite summary", "", _md_table(["metric", "value"],
                                                      rows)]
+        if suite.get("interrupted"):
+            section.append("")
+            section.append(
+                "> **Warning:** the suite was interrupted — counters "
+                "cover only the jobs that finished before the signal.")
         if float(raw) > 1.0:
             section.append("")
             section.append(

@@ -346,6 +346,23 @@ class BuddyAllocator:
         self._allocated[pfn] = half
         self._allocated[pfn + (1 << half)] = half
 
+    # --- checkpoint/restore -----------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Live references to every mutable structure (snapshot contract:
+        the caller pickles the returned tree immediately, so sharing the
+        real containers is safe and preserves cross-references)."""
+        return {"free_sets": self._free_sets,
+                "sorted": self._sorted,
+                "allocated": self._allocated,
+                "free_pages": self._free_pages}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._free_sets = state["free_sets"]
+        self._sorted = state["sorted"]
+        self._allocated = state["allocated"]
+        self._free_pages = state["free_pages"]
+
     def remove_allocated(self, pfn: int, order: int) -> None:
         """Drop an allocated block without returning it to the free lists.
 

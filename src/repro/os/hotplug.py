@@ -278,3 +278,19 @@ class MemoryBlockManager:
             return OnlineAttempt(block=index, success=False,
                                  latency_s=getattr(err, "latency_s", 0.0),
                                  errno_name=err.errno_name)
+
+    # --- checkpoint/restore ------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Mutable hot-plug state; the migration-retry RNG is captured as
+        its ``getstate()`` tuple (see :mod:`repro.sim.snapshot`)."""
+        return {"rng": self.rng.getstate(),
+                "states": self.states,
+                "offline_set": self._offline_set,
+                "stats": self.stats}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.rng.setstate(state["rng"])
+        self.states = state["states"]
+        self._offline_set = state["offline_set"]
+        self.stats = state["stats"]

@@ -593,3 +593,44 @@ class PhysicalMemoryManager:
         self._zone_of(start).allocator.add_range(start, count)
         self._offlined_pages -= self.block_pages
         self.soa.mark_online(index)
+
+    # --- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Live references to the whole mm state tree.
+
+        Everything lands in one pickle (see :mod:`repro.sim.snapshot`),
+        which is what preserves the cross-structure sharing the restore
+        depends on: the same :class:`PageExtent` objects appear in
+        ``_extents``, the per-block ``extents`` sets, and the recycling
+        pool, and the owner max-heaps keep their lazy stale entries so
+        the post-restore pop order is bit-identical.
+        """
+        return {
+            "zones": [zone.allocator.state_dict() for zone in self.zones],
+            "extents": self._extents,
+            "owners": self._owners,
+            "owner_maxheaps": self._owner_maxheaps,
+            "owner_pages": self._owner_pages,
+            "extent_pool": self._extent_pool,
+            "blocks": self._blocks,
+            "soa": self.soa.state_dict(),
+            "offlined_pages": self._offlined_pages,
+            "isolated_blocks": self._isolated_blocks,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Adopt a captured state tree in place (zones/spans keep their
+        identity; only allocator internals and the index containers are
+        replaced)."""
+        for zone, allocator_state in zip(self.zones, state["zones"]):
+            zone.allocator.load_state_dict(allocator_state)
+        self._extents = state["extents"]
+        self._owners = state["owners"]
+        self._owner_maxheaps = state["owner_maxheaps"]
+        self._owner_pages = state["owner_pages"]
+        self._extent_pool = state["extent_pool"]
+        self._blocks = state["blocks"]
+        self.soa.load_state_dict(state["soa"])
+        self._offlined_pages = state["offlined_pages"]
+        self._isolated_blocks = state["isolated_blocks"]

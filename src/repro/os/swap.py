@@ -112,6 +112,16 @@ class SwapSpace:
         self.stats.stall_s += stall
         return stall
 
+    # --- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Mutable swap state (see :mod:`repro.sim.snapshot`)."""
+        return {"held": self._held, "stats": self.stats}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._held = state["held"]
+        self.stats = state["stats"]
+
     def release(self, owner_id: str) -> int:
         """Owner exited: drop its swap slots without I/O."""
         return self._held.pop(owner_id, 0)

@@ -112,6 +112,10 @@ class PowerPolicy(Protocol):
 
     def policy_metrics(self) -> Dict[str, float]: ...
 
+    def state_dict(self) -> Dict[str, object]: ...
+
+    def load_state_dict(self, state: Dict[str, object]) -> None: ...
+
 
 class PeriodicPolicy:
     """Base class for policies that recompute state at monitor fires.
@@ -199,3 +203,22 @@ class PeriodicPolicy:
     def policy_metrics(self) -> Dict[str, float]:
         """Policy-specific counters for tournament/report rows."""
         return {}
+
+    # --- checkpoint/restore -----------------------------------------------
+
+    #: Extra mutable attributes a subclass carries between monitor fires;
+    #: extended (not replaced) down the class hierarchy.
+    _STATE_ATTRS: "tuple[str, ...]" = ()
+
+    def state_dict(self) -> Dict[str, object]:
+        state: Dict[str, object] = {"stats": self.stats,
+                                    "since_monitor_s": self._since_monitor_s}
+        for name in self._STATE_ATTRS:
+            state[name] = getattr(self, name)
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self.stats = state["stats"]
+        self._since_monitor_s = state["since_monitor_s"]
+        for name in self._STATE_ATTRS:
+            setattr(self, name, state[name])

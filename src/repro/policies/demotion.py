@@ -44,6 +44,10 @@ class AdaptiveDemotionPolicy(RankLevelPolicy):
 
     name = "adaptive-demotion"
 
+    _STATE_ATTRS = RankLevelPolicy._STATE_ATTRS + (
+        "_resident", "_idle_since", "_mean_idle_s", "_demotions",
+        "_reactivations")
+
     def __init__(self, system: "GreenDIMMSystem"):
         super().__init__(system)
         #: Resident-rank count at the last fire; 0 = not initialized.

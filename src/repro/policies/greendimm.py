@@ -84,3 +84,13 @@ class GreenDIMMPolicy:
 
     def policy_metrics(self) -> Dict[str, float]:
         return {}
+
+    # --- checkpoint/restore ------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Stateless adapter: everything lives in the daemon, which the
+        system snapshot captures directly."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        pass

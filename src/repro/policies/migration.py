@@ -48,6 +48,10 @@ class RankAwareMigrationPolicy(RankLevelPolicy):
 
     name = "rank-migration"
 
+    _STATE_ATTRS = RankLevelPolicy._STATE_ATTRS + (
+        "_current_resident", "_extra_power_w", "_migrations",
+        "_migrated_bytes", "_migration_energy_j", "_migration_stall_s")
+
     def __init__(self, system: "GreenDIMMSystem"):
         super().__init__(system)
         self._current_resident = 0  # 0 = nothing packed yet

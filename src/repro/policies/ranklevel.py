@@ -29,6 +29,8 @@ if TYPE_CHECKING:
 class RankLevelPolicy(PeriodicPolicy):
     """Recompute an effective dpd from live usage at each monitor fire."""
 
+    _STATE_ATTRS = PeriodicPolicy._STATE_ATTRS + ("_effective_dpd",)
+
     def __init__(self, system: "GreenDIMMSystem"):
         super().__init__(system)
         self._effective_dpd = 0.0

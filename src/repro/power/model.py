@@ -202,6 +202,20 @@ class DRAMPowerModel:
                                DRAMPowerBreakdown] = {}
         self.cache_stats = PowerCacheStats()
 
+    # --- checkpoint/restore -----------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """The busy-power memo and its hit/miss counters.  The memo's
+        contents are pure in their keys, but the eviction-at-capacity
+        behaviour makes the *population* part of the deterministic
+        trajectory, so it is carried across a restore."""
+        return {"busy_cache": self._busy_cache,
+                "cache_stats": self.cache_stats}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._busy_cache = state["busy_cache"]
+        self.cache_stats = state["cache_stats"]
+
     # --- rank-level -------------------------------------------------------
 
     def _dpd_scale(self, dpd_fraction: float) -> float:

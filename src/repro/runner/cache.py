@@ -82,10 +82,11 @@ class ResultCache:
         if not pkl_path.exists():
             return None
         try:
+            json.loads(meta_path.read_text())
             with pkl_path.open("rb") as handle:
                 result = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError,
-                AttributeError, ImportError):
+        except (OSError, json.JSONDecodeError, pickle.UnpicklingError,
+                EOFError, AttributeError, ImportError):
             pkl_path.unlink(missing_ok=True)
             meta_path.unlink(missing_ok=True)
             return None
@@ -106,7 +107,8 @@ class ResultCache:
         with tmp.open("wb") as handle:
             pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
         tmp.replace(pkl_path)
-        meta_path.write_text(json.dumps({
+        meta_tmp = meta_path.with_suffix(".json.tmp")
+        meta_tmp.write_text(json.dumps({
             "experiment": job.experiment,
             "fast": job.fast,
             "seed": job.job_seed,
@@ -114,6 +116,7 @@ class ResultCache:
             "code_version": self.version,
             "wall_s": wall_s,
         }, indent=1) + "\n")
+        meta_tmp.replace(meta_path)
         return key
 
     # --- inspection --------------------------------------------------------

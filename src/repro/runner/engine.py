@@ -133,12 +133,21 @@ class ParallelRunner:
             else:
                 pending.append((index, job))
 
-        if pending:
-            if self.workers == 1:
-                for index, job in pending:
-                    outcomes[index] = self._run_inline(job)
-            else:
-                self._run_pool(pending, outcomes)
+        try:
+            if pending:
+                if self.workers == 1:
+                    for index, job in pending:
+                        outcomes[index] = self._run_inline(job)
+                else:
+                    self._run_pool(pending, outcomes)
+        except KeyboardInterrupt:
+            # Close the metrics stream truthfully before propagating:
+            # tooling tailing the JSONL must see the suite end as
+            # interrupted, not vanish mid-run or read as complete.
+            elapsed = time.perf_counter() - started
+            self.metrics.suite_end(self.workers, elapsed,
+                                   interrupted=True)
+            raise
 
         elapsed = time.perf_counter() - started
         self.metrics.suite_end(self.workers, elapsed)
@@ -162,26 +171,33 @@ class ParallelRunner:
     def _run_pool(self, pending: Sequence[Tuple[int, ExperimentJob]],
                   outcomes: List[Optional[JobOutcome]]) -> None:
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {}
-            for index, job in pending:
-                self.metrics.job_start(job.experiment)
-                futures[pool.submit(_timed_execute, job)] = (index, job)
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining,
-                                       return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, job = futures[future]
-                    try:
-                        execution = future.result()
-                    except Exception as err:  # noqa: BLE001 — the worker
-                        # process itself died; its accounts died with it.
-                        message = "".join(traceback.format_exception_only(
-                            type(err), err)).strip()
-                        execution = _Execution(
-                            result=None, wall_s=0.0, faults={}, perf={},
-                            residency={}, trace={}, error=message)
-                    outcomes[index] = self._finish(job, execution)
+            try:
+                futures = {}
+                for index, job in pending:
+                    self.metrics.job_start(job.experiment)
+                    futures[pool.submit(_timed_execute, job)] = (index, job)
+                remaining = set(futures)
+                while remaining:
+                    done, remaining = wait(remaining,
+                                           return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index, job = futures[future]
+                        try:
+                            execution = future.result()
+                        except Exception as err:  # noqa: BLE001 — the
+                            # worker process itself died; its accounts
+                            # died with it.
+                            message = "".join(
+                                traceback.format_exception_only(
+                                    type(err), err)).strip()
+                            execution = _Execution(
+                                result=None, wall_s=0.0, faults={},
+                                perf={}, residency={}, trace={},
+                                error=message)
+                        outcomes[index] = self._finish(job, execution)
+            except KeyboardInterrupt:
+                _abort_pool(pool)
+                raise
 
     def _finish(self, job: ExperimentJob, execution: _Execution) -> JobOutcome:
         """Store, meter, and shape one finished execution (either path)."""
@@ -205,6 +221,20 @@ class ParallelRunner:
                wall_s: float) -> None:
         if self.cache is not None:
             self.cache.put(job, result, wall_s)
+
+
+def _abort_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now* for an interrupt.
+
+    ``cancel_futures`` drops everything still queued; terminating the
+    worker processes cuts jobs already running.  Without the terminate,
+    the executor's exit handler would block until every in-flight job
+    ran to completion — exactly what a Ctrl-C / SIGTERM asked to avoid.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        process.terminate()
 
 
 def _drained_call(fn: Callable[[ItemT], ResultT],
@@ -241,28 +271,39 @@ def fan_out(fn: Callable[[ItemT], ResultT], items: Sequence[ItemT],
     bus = metrics or MetricsBus()
     started = time.perf_counter()
     results: List[ResultT] = [None] * len(items)  # type: ignore[list-item]
-    if workers == 1 or len(items) <= 1:
-        for index, item in enumerate(items):
-            bus.job_start(label(item))
-            result, wall, faults, perf, residency, trace = \
-                _drained_call(fn, item)
-            results[index] = result
-            bus.job_end(label(item), wall, cached=False, faults=faults,
-                        perf=perf, residency=residency, trace=trace)
-    else:
-        from concurrent.futures import as_completed
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
+    try:
+        if workers == 1 or len(items) <= 1:
             for index, item in enumerate(items):
                 bus.job_start(label(item))
-                futures[pool.submit(_drained_call, fn, item)] = (index, item)
-            for future in as_completed(futures):
-                index, item = futures[future]
                 result, wall, faults, perf, residency, trace = \
-                    future.result()
+                    _drained_call(fn, item)
                 results[index] = result
                 bus.job_end(label(item), wall, cached=False, faults=faults,
                             perf=perf, residency=residency, trace=trace)
+        else:
+            from concurrent.futures import as_completed
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                try:
+                    futures = {}
+                    for index, item in enumerate(items):
+                        bus.job_start(label(item))
+                        futures[pool.submit(_drained_call, fn, item)] = \
+                            (index, item)
+                    for future in as_completed(futures):
+                        index, item = futures[future]
+                        result, wall, faults, perf, residency, trace = \
+                            future.result()
+                        results[index] = result
+                        bus.job_end(label(item), wall, cached=False,
+                                    faults=faults, perf=perf,
+                                    residency=residency, trace=trace)
+                except KeyboardInterrupt:
+                    _abort_pool(pool)
+                    raise
+    except KeyboardInterrupt:
+        bus.suite_end(workers, time.perf_counter() - started,
+                      interrupted=True)
+        raise
     bus.suite_end(workers, time.perf_counter() - started)
     return results

@@ -27,12 +27,18 @@ class MetricsBus:
         self.events: List[Dict[str, object]] = []
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Wall-clock ``ts`` is what humans read, but it can step
+        #: backwards (NTP, suspend/resume); ``ts_mono`` — monotonic
+        #: seconds since bus creation — is what ordering must use.
+        self._mono_start = time.monotonic()
 
     # --- emission ----------------------------------------------------------
 
     def emit(self, kind: str, **fields: object) -> Dict[str, object]:
         """Record one event; returns it for chaining/inspection."""
-        event: Dict[str, object] = {"event": kind, "ts": time.time()}
+        event: Dict[str, object] = {
+            "event": kind, "ts": time.time(),
+            "ts_mono": time.monotonic() - self._mono_start}
         event.update(fields)
         self.events.append(event)
         if self.path is not None:
@@ -101,10 +107,18 @@ class MetricsBus:
             return 0.0
         return self.job_wall_s() / (workers * elapsed_s)
 
-    def suite_end(self, workers: int, elapsed_s: float) -> Dict[str, object]:
-        """Emit (and return) the closing summary event."""
+    def suite_end(self, workers: int, elapsed_s: float,
+                  interrupted: bool = False) -> Dict[str, object]:
+        """Emit (and return) the closing summary event.
+
+        *interrupted* marks a suite cut short (Ctrl-C / SIGTERM): the
+        counters then cover only the jobs that finished before the
+        signal, and downstream tooling must not read the run as
+        complete.
+        """
         return self.emit(
             "suite_end", workers=workers, elapsed_s=elapsed_s,
+            interrupted=interrupted,
             jobs=self.cache_hits + self.cache_misses,
             cache_hits=self.cache_hits, cache_misses=self.cache_misses,
             busy_s=self.job_wall_s(),

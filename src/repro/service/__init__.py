@@ -1,0 +1,24 @@
+"""The resident fleet service: warm simulators + a REST control plane.
+
+``repro serve`` keeps a fleet of GreenDIMM servers resident and
+controllable over HTTP; ``repro ctl`` is the matching client.  The
+pieces compose from the rest of the library: servers are
+:class:`~repro.sim.snapshot.ServerSpec`-built simulators over an
+appendable :class:`~repro.service.stream.StreamSource`, ticked in
+bounded slices by the epoch kernel, and checkpointed/migrated with
+:mod:`repro.sim.snapshot`.
+"""
+
+from repro.service.client import ControlClient
+from repro.service.fleet_service import FleetService, ServiceServer
+from repro.service.http import ControlPlane, serve
+from repro.service.stream import StreamSource
+
+__all__ = [
+    "ControlClient",
+    "ControlPlane",
+    "FleetService",
+    "ServiceServer",
+    "StreamSource",
+    "serve",
+]

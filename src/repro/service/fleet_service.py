@@ -1,0 +1,351 @@
+"""A resident fleet of warm simulators behind one control surface.
+
+The batch path (:mod:`repro.sim.fleet`) answers "replay this 24 h trace
+on N servers"; this module keeps those same servers *resident*: built
+once, ticked forever, fed VM arrivals as they happen, and inspectable /
+reconfigurable / checkpointable while running.  The REST layer in
+:mod:`repro.service.http` is a thin JSON skin over the
+:class:`FleetService` methods here, so everything is equally usable
+in-process (tests drive it directly).
+
+Layout: ``num_servers`` simulators are dealt round-robin onto
+``num_workers`` logical worker shards
+(:func:`repro.sim.fleet.shard_assignment`), and VMs route to servers by
+``vm_id % num_servers`` — the same placement the batch fleet uses.
+Checkpoints make the shards elastic: :meth:`FleetService.reshard`
+snapshots every server, recomputes the assignment for the new worker
+count, and restores each snapshot on its new worker;
+:meth:`FleetService.migrate` moves one server the same way.  Because a
+restored server continues bit-for-bit (``tests/test_snapshot.py``),
+rebalancing never perturbs simulation results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.core.daemon import GreenDIMMDaemon
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults.plan import FaultPlan
+from repro.policies.registry import DEFAULT_POLICY
+from repro.sim import snapshot as snapshot_mod
+from repro.sim.fleet import fleet_server_spec, shard_assignment
+from repro.sim.snapshot import ServerSpec
+from repro.service.stream import StreamSource
+from repro.units import GIB
+from repro.workloads.azure import VMEvent, VMInstance, VMType
+
+
+class ServiceServer:
+    """One warm simulator: a paused kernel run over a stream source."""
+
+    def __init__(self, spec: ServerSpec, epoch_s: float = 5.0,
+                 pinned_churn: bool = False):
+        self.spec = spec
+        self.sim = spec.build()
+        source = StreamSource(self.sim)
+        self.state = self.sim.kernel.begin(source, epoch_s,
+                                           pinned_churn=pinned_churn)
+
+    @property
+    def source(self) -> StreamSource:
+        return self.state.source  # type: ignore[return-value]
+
+    @property
+    def daemon(self) -> GreenDIMMDaemon:
+        return self.sim.system.daemon
+
+    # --- driving ------------------------------------------------------------
+
+    def ingest(self, event: VMEvent) -> None:
+        self.source.push(event)
+
+    def tick(self, until_s: float) -> None:
+        """Advance the paused run to *until_s* of simulation time."""
+        if until_s > self.state.now_s:
+            self.sim.kernel.advance(self.state, until_s=until_s, exact=True)
+
+    # --- checkpoint/restore -------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        return snapshot_mod.capture(self.sim, run_state=self.state,
+                                    spec=self.spec)
+
+    @classmethod
+    def from_snapshot(cls, blob: bytes) -> "ServiceServer":
+        restored = snapshot_mod.restore(blob)
+        if restored.run_state is None or restored.spec is None:
+            raise SimulationError(
+                "service snapshots carry a run state and a spec")
+        server = cls.__new__(cls)
+        server.spec = restored.spec
+        server.sim = restored.sim
+        server.state = restored.run_state
+        return server
+
+    # --- reconfiguration ----------------------------------------------------
+
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        self.sim.system.install_fault_plan(plan, now_s=self.state.now_s)
+
+    def retune(self, **overrides) -> None:
+        self.sim.system.retune(**overrides)
+
+    # --- observability ------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        system = self.sim.system
+        mm = system.mm
+        stats = self.daemon.stats
+        residency = self.state.residency
+        return {
+            "now_s": self.state.now_s,
+            "policy": system.policy_name,
+            "running_vms": self.source.running,
+            "pending_events": self.source.pending,
+            "applied_events": self.source.cursor,
+            "dram_energy_j": self.state.dram_energy,
+            "baseline_dram_energy_j": self.state.baseline_energy,
+            "residency_s": residency.as_dict(),
+            "residency_fractions": residency.fractions(),
+            "offline_blocks": system.policy.offline_block_count,
+            "dpd_fraction": system.policy.dpd_fraction(),
+            "free_pages": mm.free_pages,
+            "online_pages": mm.online_pages,
+            "offline_events": stats.offline_events,
+            "online_events": stats.online_events,
+            "emergency_onlines": stats.emergency_onlines,
+            "fault_plan": (system.fault_plan.name
+                           if system.fault_plan is not None else None),
+            "config": {
+                "off_thr_fraction": system.config.off_thr_fraction,
+                "on_thr_fraction": system.config.on_thr_fraction,
+                "monitor_period_s": system.config.monitor_period_s,
+            },
+        }
+
+    def events(self, limit: int = 50) -> List[Dict[str, object]]:
+        """The daemon's most recent decisions, newest last."""
+        log = self.daemon.event_log
+        tail = list(log)[-max(0, limit):]
+        return [{"time_s": e.time_s, "kind": e.kind, "block": e.block}
+                for e in tail]
+
+
+class FleetService:
+    """All resident servers, their worker shards, and the fleet clock."""
+
+    def __init__(self, num_servers: int = 4, num_workers: int = 2,
+                 policy: str = DEFAULT_POLICY, seed: int = 7,
+                 epoch_s: float = 5.0, enable_ksm: bool = False,
+                 pinned_churn: bool = False,
+                 kernel_boot_bytes: int = 2 * GIB):
+        if num_servers < 1:
+            raise ConfigurationError("need at least one fleet server")
+        self.num_servers = num_servers
+        self.policy = policy
+        self.seed = seed
+        self.epoch_s = epoch_s
+        self.now_s = 0.0
+        self._vm_types: Dict[int, VMType] = {}
+        self.assignment = shard_assignment(num_servers, num_workers)
+        self.workers: List[Dict[int, ServiceServer]] = [
+            {} for _ in range(num_workers)]
+        for index in range(num_servers):
+            spec = fleet_server_spec(index, seed=seed, policy=policy,
+                                     enable_ksm=enable_ksm,
+                                     kernel_boot_bytes=kernel_boot_bytes)
+            self.workers[self.assignment[index]][index] = ServiceServer(
+                spec, epoch_s=epoch_s, pinned_churn=pinned_churn)
+
+    # --- lookup -------------------------------------------------------------
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def server(self, index: int) -> ServiceServer:
+        try:
+            return self.workers[self.assignment[index]][index]
+        except KeyError:
+            raise ConfigurationError(
+                f"no server {index} (fleet has {self.num_servers})") from None
+
+    def route(self, vm_id: int) -> int:
+        """The server a VM lands on (same placement as batch fleets)."""
+        return vm_id % self.num_servers
+
+    # --- ingestion ----------------------------------------------------------
+
+    def ingest(self, vm_id: int, memory_bytes: int, time_s: float,
+               lifetime_s: Optional[float] = None, vcpus: int = 2,
+               image_id: int = 0) -> Dict[str, object]:
+        """Admit one VM: an arrival now (or at *time_s*, if later than
+        the server's clock) plus, with a lifetime, its departure.
+
+        Returns the placement, so callers can follow up on the server.
+        """
+        if memory_bytes <= 0:
+            raise ConfigurationError("VM memory must be positive")
+        index = self.route(vm_id)
+        server = self.server(index)
+        arrival = max(time_s, server.state.now_s)
+        departure = (arrival + lifetime_s if lifetime_s is not None
+                     else math.inf)
+        vm_type = self._vm_types.get(vm_id)
+        if vm_type is None:
+            vm_type = VMType(name=f"ingest-{vm_id}", vcpus=vcpus,
+                             memory_bytes=memory_bytes,
+                             lifetime_mu=0.0, lifetime_sigma=1.0,
+                             image_id=image_id)
+            self._vm_types[vm_id] = vm_type
+        instance = VMInstance(vm_id=vm_id, vm_type=vm_type,
+                              arrival_s=arrival, departure_s=departure)
+        server.ingest(VMEvent(time_s=arrival, kind="arrive",
+                              instance=instance))
+        if lifetime_s is not None:
+            server.ingest(VMEvent(time_s=departure, kind="depart",
+                                  instance=instance))
+        return {"vm_id": vm_id, "server": index,
+                "worker": self.assignment[index], "arrival_s": arrival}
+
+    def depart(self, vm_id: int, time_s: float) -> Dict[str, object]:
+        """Explicitly retire a VM that was admitted without a lifetime."""
+        vm_type = self._vm_types.get(vm_id)
+        if vm_type is None:
+            raise ConfigurationError(f"unknown VM {vm_id}")
+        index = self.route(vm_id)
+        server = self.server(index)
+        when = max(time_s, server.state.now_s)
+        instance = VMInstance(vm_id=vm_id, vm_type=vm_type,
+                              arrival_s=0.0, departure_s=when)
+        server.ingest(VMEvent(time_s=when, kind="depart",
+                              instance=instance))
+        return {"vm_id": vm_id, "server": index, "departure_s": when}
+
+    # --- the fleet clock ----------------------------------------------------
+
+    def advance(self, until_s: Optional[float] = None,
+                dt_s: Optional[float] = None) -> float:
+        """Tick every server to one shared simulation time."""
+        if (until_s is None) == (dt_s is None):
+            raise ConfigurationError("pass exactly one of until_s / dt_s")
+        target = self.now_s + dt_s if dt_s is not None else until_s
+        if target < self.now_s:
+            raise ConfigurationError(
+                f"cannot rewind the fleet clock ({target} < {self.now_s})")
+        for worker in self.workers:
+            for server in worker.values():
+                server.tick(target)
+        self.now_s = target
+        return self.now_s
+
+    # --- checkpointing and elasticity ---------------------------------------
+
+    def snapshot(self, index: int) -> bytes:
+        return self.server(index).snapshot()
+
+    def restore(self, index: int, blob: bytes) -> None:
+        """Replace server *index* with a restored snapshot, in place."""
+        if index not in self.assignment:
+            raise ConfigurationError(f"no server {index}")
+        server = ServiceServer.from_snapshot(blob)
+        self.workers[self.assignment[index]][index] = server
+
+    def migrate(self, index: int, worker: int) -> Dict[str, object]:
+        """Move one server to another worker via checkpoint/restore."""
+        if not 0 <= worker < self.num_workers:
+            raise ConfigurationError(
+                f"no worker {worker} (fleet has {self.num_workers})")
+        source_worker = self.assignment[index]
+        blob = self.snapshot(index)
+        del self.workers[source_worker][index]
+        self.assignment[index] = worker
+        self.workers[worker][index] = ServiceServer.from_snapshot(blob)
+        return {"server": index, "from": source_worker, "to": worker,
+                "snapshot_bytes": len(blob)}
+
+    def reshard(self, num_workers: int) -> Dict[str, object]:
+        """Elastically change the worker count, checkpoint-based.
+
+        Every server is snapshotted, the round-robin assignment is
+        recomputed for the new shape, and each snapshot is restored on
+        its new worker.  Results are unaffected: a restored server
+        continues bit-for-bit.
+        """
+        moved = 0
+        blobs = {index: self.snapshot(index)
+                 for index in range(self.num_servers)}
+        new_assignment = shard_assignment(self.num_servers, num_workers)
+        workers: List[Dict[int, ServiceServer]] = [
+            {} for _ in range(num_workers)]
+        for index, blob in blobs.items():
+            if new_assignment[index] != self.assignment.get(index):
+                moved += 1
+            workers[new_assignment[index]][index] = \
+                ServiceServer.from_snapshot(blob)
+        self.workers = workers
+        self.assignment = new_assignment
+        return {"workers": num_workers, "servers": self.num_servers,
+                "moved": moved}
+
+    # --- runtime reconfiguration --------------------------------------------
+
+    def inject_fault_plan(self, index: int,
+                          plan: Dict[str, object]) -> Dict[str, object]:
+        fault_plan = FaultPlan.from_dict(plan)
+        self.server(index).install_fault_plan(fault_plan)
+        return {"server": index, "plan": fault_plan.name,
+                "rules": len(fault_plan)}
+
+    def retune(self, overrides: Dict[str, object],
+               index: Optional[int] = None) -> Dict[str, object]:
+        """Retune daemon thresholds — one server or the whole fleet."""
+        targets = ([index] if index is not None
+                   else list(range(self.num_servers)))
+        for target in targets:
+            self.server(target).retune(**overrides)
+        return {"servers": targets, "overrides": overrides}
+
+    # --- observability ------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        dram = sum(self.server(i).state.dram_energy
+                   for i in range(self.num_servers))
+        baseline = sum(self.server(i).state.baseline_energy
+                       for i in range(self.num_servers))
+        running = sum(self.server(i).source.running
+                      for i in range(self.num_servers))
+        return {
+            "now_s": self.now_s,
+            "servers": self.num_servers,
+            "workers": self.num_workers,
+            "policy": self.policy,
+            "epoch_s": self.epoch_s,
+            "running_vms": running,
+            "fleet_dram_energy_j": dram,
+            "fleet_baseline_dram_energy_j": baseline,
+            "fleet_dram_energy_saving": (
+                1.0 - dram / baseline if baseline > 0 else 0.0),
+            "assignment": {str(k): v for k, v in self.assignment.items()},
+        }
+
+    def servers(self) -> List[Dict[str, object]]:
+        out = []
+        for index in range(self.num_servers):
+            summary = self.server(index).status()
+            summary["server"] = index
+            summary["worker"] = self.assignment[index]
+            out.append(summary)
+        return out
+
+    def server_status(self, index: int) -> Dict[str, object]:
+        summary = self.server(index).status()
+        summary["server"] = index
+        summary["worker"] = self.assignment[index]
+        return summary
+
+    def server_events(self, index: int,
+                      limit: int = 50) -> List[Dict[str, object]]:
+        return self.server(index).events(limit=limit)

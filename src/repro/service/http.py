@@ -1,0 +1,288 @@
+"""The REST/JSON control plane over a :class:`FleetService`.
+
+Pure standard library: ``asyncio.start_server`` plus a deliberately
+small HTTP/1.1 implementation (request line, headers, Content-Length
+body, ``Connection: close`` responses).  Every route is a thin JSON
+skin over a :class:`~repro.service.fleet_service.FleetService` method;
+snapshots travel as raw ``application/octet-stream`` bodies so a
+checkpoint round-trip is byte-transparent.
+
+Routes::
+
+    GET  /status                    fleet summary (time, energy, layout)
+    GET  /servers                   per-server summaries
+    GET  /servers/{i}               one server: residency, energy, config
+    GET  /servers/{i}/events?n=K    daemon decision log tail
+    GET  /servers/{i}/snapshot      checkpoint (binary)
+    POST /servers/{i}/restore       restore from a checkpoint body
+    POST /servers/{i}/migrate       {"worker": w}
+    POST /servers/{i}/fault         a fault-plan JSON document
+    POST /ingest                    {"vm_id", "memory_bytes", "time_s",
+                                     "lifetime_s"?, "vcpus"?, "image_id"?}
+    POST /depart                    {"vm_id", "time_s"}
+    POST /advance                   {"until_s"} or {"dt_s"}
+    POST /retune                    {"overrides": {...}, "server"?: i}
+    POST /reshard                   {"workers": n}
+    POST /shutdown                  stop serving
+
+Simulation work runs under one lock (the service is single-threaded
+state), with slow operations pushed to a worker thread so the event
+loop keeps accepting connections while a long ``/advance`` ticks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ReproError
+from repro.service.fleet_service import FleetService
+
+#: Largest accepted request body (snapshots of big fleets are MBs).
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_SERVER_ROUTE = re.compile(r"^/servers/(\d+)(/[a-z]+)?$")
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error"}
+
+
+class ControlPlane:
+    """Serves one :class:`FleetService` over HTTP until shut down."""
+
+    def __init__(self, service: FleetService, host: str = "127.0.0.1",
+                 port: int = 8023):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._lock = asyncio.Lock()
+        self._shutdown = asyncio.Event()
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (useful with ``port=0`` in tests)."""
+        if self._server is None:
+            raise ReproError("control plane is not serving")
+        return self._server.sockets[0].getsockname()[1]
+
+    # --- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+
+    async def serve_until_shutdown(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._shutdown.wait()
+
+    # --- plumbing -----------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, content_type, body = await self._respond(reader)
+        except _HttpError as err:
+            status, content_type, body = (
+                err.status, "application/json",
+                json.dumps({"error": err.message}).encode())
+        except ReproError as err:
+            status, content_type, body = (
+                400, "application/json",
+                json.dumps({"error": str(err)}).encode())
+        except Exception as err:  # pragma: no cover - defensive
+            status, content_type, body = (
+                500, "application/json",
+                json.dumps({"error": f"{type(err).__name__}: {err}"})
+                .encode())
+        reason = _REASONS.get(status, "Unknown")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Tuple[str, str, Dict[str, str], bytes]:
+        request_line = await reader.readline()
+        if not request_line.strip():
+            raise _HttpError(400, "empty request")
+        try:
+            method, target, _version = \
+                request_line.decode("latin-1").split()
+        except ValueError:
+            raise _HttpError(400, "malformed request line") from None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    @staticmethod
+    def _json(body: bytes) -> Dict[str, object]:
+        if not body:
+            return {}
+        try:
+            data = json.loads(body)
+        except json.JSONDecodeError as err:
+            raise _HttpError(400, f"malformed JSON body: {err}") from None
+        if not isinstance(data, dict):
+            raise _HttpError(400, "JSON body must be an object")
+        return data
+
+    @staticmethod
+    def _ok(payload: object) -> Tuple[int, str, bytes]:
+        return 200, "application/json", json.dumps(payload).encode()
+
+    # --- routing ------------------------------------------------------------
+
+    async def _respond(self, reader: asyncio.StreamReader
+                       ) -> Tuple[int, str, bytes]:
+        method, target, _headers, body = await self._read_request(reader)
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = parse_qs(url.query)
+        service = self.service
+
+        match = _SERVER_ROUTE.match(path)
+        if match:
+            index = int(match.group(1))
+            sub = match.group(2)
+            return await self._server_route(method, index, sub, query, body)
+
+        if method == "GET":
+            if path == "/status":
+                async with self._lock:
+                    return self._ok(service.status())
+            if path == "/servers":
+                async with self._lock:
+                    return self._ok(service.servers())
+            raise _HttpError(404, f"unknown path {path!r}")
+
+        if method != "POST":
+            raise _HttpError(405, f"unsupported method {method}")
+
+        if path == "/ingest":
+            data = self._json(body)
+            async with self._lock:
+                return self._ok(service.ingest(
+                    vm_id=int(data["vm_id"]),
+                    memory_bytes=int(data["memory_bytes"]),
+                    time_s=float(data.get("time_s", service.now_s)),
+                    lifetime_s=(float(data["lifetime_s"])
+                                if "lifetime_s" in data else None),
+                    vcpus=int(data.get("vcpus", 2)),
+                    image_id=int(data.get("image_id", 0))))
+        if path == "/depart":
+            data = self._json(body)
+            async with self._lock:
+                return self._ok(service.depart(
+                    vm_id=int(data["vm_id"]),
+                    time_s=float(data.get("time_s", service.now_s))))
+        if path == "/advance":
+            data = self._json(body)
+            until_s = (float(data["until_s"])
+                       if "until_s" in data else None)
+            dt_s = float(data["dt_s"]) if "dt_s" in data else None
+            async with self._lock:
+                now = await asyncio.to_thread(service.advance,
+                                              until_s=until_s, dt_s=dt_s)
+            return self._ok({"now_s": now})
+        if path == "/retune":
+            data = self._json(body)
+            overrides = data.get("overrides")
+            if not isinstance(overrides, dict) or not overrides:
+                raise _HttpError(400, "need a non-empty 'overrides' object")
+            index = int(data["server"]) if "server" in data else None
+            async with self._lock:
+                return self._ok(service.retune(overrides, index=index))
+        if path == "/reshard":
+            data = self._json(body)
+            async with self._lock:
+                result = await asyncio.to_thread(
+                    service.reshard, int(data["workers"]))
+            return self._ok(result)
+        if path == "/shutdown":
+            self._shutdown.set()
+            return self._ok({"shutdown": True})
+        raise _HttpError(404, f"unknown path {path!r}")
+
+    async def _server_route(self, method: str, index: int,
+                            sub: Optional[str], query: Dict[str, list],
+                            body: bytes) -> Tuple[int, str, bytes]:
+        service = self.service
+        if method == "GET":
+            if sub is None:
+                async with self._lock:
+                    return self._ok(service.server_status(index))
+            if sub == "/events":
+                limit = int(query.get("n", ["50"])[0])
+                async with self._lock:
+                    return self._ok(service.server_events(index,
+                                                          limit=limit))
+            if sub == "/snapshot":
+                async with self._lock:
+                    blob = await asyncio.to_thread(service.snapshot, index)
+                return 200, "application/octet-stream", blob
+            raise _HttpError(404, f"unknown server endpoint {sub!r}")
+        if method != "POST":
+            raise _HttpError(405, f"unsupported method {method}")
+        if sub == "/restore":
+            if not body:
+                raise _HttpError(400, "restore needs a snapshot body")
+            async with self._lock:
+                await asyncio.to_thread(service.restore, index, body)
+            return self._ok({"server": index, "restored": True})
+        if sub == "/migrate":
+            data = self._json(body)
+            async with self._lock:
+                return self._ok(service.migrate(index,
+                                                int(data["worker"])))
+        if sub == "/fault":
+            data = self._json(body)
+            async with self._lock:
+                return self._ok(service.inject_fault_plan(index, data))
+        raise _HttpError(404, f"unknown server endpoint {sub!r}")
+
+
+async def serve(service: FleetService, host: str = "127.0.0.1",
+                port: int = 8023,
+                ready: Optional[asyncio.Event] = None) -> None:
+    """Run the control plane until ``POST /shutdown``."""
+    plane = ControlPlane(service, host=host, port=port)
+    await plane.start()
+    if ready is not None:
+        ready.set()
+    print(f"repro service: {service.num_servers} servers on "
+          f"{service.num_workers} workers, "
+          f"http://{host}:{plane.bound_port}", flush=True)
+    await plane.serve_until_shutdown()

@@ -303,3 +303,49 @@ def run_fleet(source: FleetSource, workers: int = 1,
 #: Reverse index for quick lookups in reports/tests.
 def server_by_index(result: FleetRunResult) -> Dict[int, FleetServerResult]:
     return {s.index: s for s in result.servers}
+
+
+# --- resident-fleet construction and elastic resharding ----------------------
+
+
+def fleet_server_spec(index: int, seed: int = 7,
+                      policy: str = DEFAULT_POLICY,
+                      enable_ksm: bool = False,
+                      block_bytes: int = 512 * MIB,
+                      kernel_boot_bytes: int = 2 * GIB,
+                      transient_failure_probability: float = 0.5):
+    """The snapshot spec for fleet server *index*.
+
+    Seeds follow :meth:`FleetSource.jobs` exactly (``seed + 1000 *
+    (index + 1)`` for the system, ``+ 1`` for the simulator), so a
+    resident service server is the same stochastic object as a batch
+    fleet-replay server — and, being a
+    :class:`~repro.sim.snapshot.ServerSpec`, it can be checkpointed,
+    shipped, and rebuilt anywhere.
+    """
+    from repro.sim.snapshot import ServerSpec
+
+    return ServerSpec(
+        policy=policy,
+        seed=seed + 1000 * (index + 1),
+        sim_seed=seed + 1000 * (index + 1) + 1,
+        organization="fleet",
+        enable_ksm=enable_ksm,
+        transient_failure_probability=transient_failure_probability,
+        kernel_boot_bytes=kernel_boot_bytes,
+        config={"block_bytes": block_bytes})
+
+
+def shard_assignment(num_servers: int,
+                     num_workers: int) -> Dict[int, int]:
+    """Server index -> worker index, round-robin.
+
+    The deterministic placement both the resident service's initial
+    layout and checkpoint-based elastic resharding use: to go from *n*
+    to *m* workers, every server is checkpointed, the assignment is
+    recomputed for *m*, and each snapshot is restored on its new worker
+    — placement is a pure function of the shape, never of history.
+    """
+    if num_servers < 1 or num_workers < 1:
+        raise ConfigurationError("need at least one server and one worker")
+    return {index: index % num_workers for index in range(num_servers)}

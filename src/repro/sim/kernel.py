@@ -122,6 +122,46 @@ class EpochSample(NamedTuple):
 
 
 @dataclass
+class KernelRunState:
+    """A paused kernel execution: everything the loop carries between
+    epochs, and nothing else.
+
+    Pure data by construction — no ``ServerSimulator``/system/policy
+    references — so a state (together with the simulator it belongs to)
+    is exactly what a checkpoint must capture.  The one indirect
+    reference is :attr:`source`, and the concrete sources drop their
+    ``sim`` back-reference when pickled (``__getstate__``); the snapshot
+    layer re-binds it on restore.
+
+    Produced by :meth:`EpochKernel.begin`, advanced in place by
+    :meth:`EpochKernel.advance`, consumed by :meth:`EpochKernel.finish`.
+    """
+
+    source: "WorkloadSource"
+    epoch_s: float
+    pinned_churn: bool
+    use_ff: bool
+    duration_s: float
+    clock: SimClock
+    swap_stall_before: float
+    samples: List[EpochSample] = field(default_factory=list)
+    dram_energy: float = 0.0
+    baseline_energy: float = 0.0
+    residency: ResidencyStats = field(default_factory=ResidencyStats)
+    finished: bool = False
+
+    @property
+    def now_s(self) -> float:
+        """The paused clock: the next epoch to execute starts here."""
+        return self.clock.now_s
+
+    @property
+    def done(self) -> bool:
+        """Has the measured span reached ``duration_s``?"""
+        return self.clock.now_s >= self.duration_s
+
+
+@dataclass
 class KernelRun:
     """What one kernel execution accumulated, before result shaping.
 
@@ -217,6 +257,13 @@ class ProfileSource:
         self._flat_calendar = EventCalendar(
             self.profile.footprint.flat_run_ends())
 
+    def __getstate__(self) -> Dict[str, object]:
+        # Snapshot support: the simulator back-reference would drag the
+        # whole system into the pickle; the snapshot layer re-binds it.
+        state = self.__dict__.copy()
+        state["sim"] = None
+        return state
+
     def _target_pages(self, t: float) -> int:
         cached_t, cached = self._target_cache
         if t == cached_t:
@@ -282,6 +329,13 @@ class TraceSource:
         self.running = 0
         self.duration_s = max((e.time_s for e in self.events),
                               default=0.0) + 300.0
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Snapshot support: drop the simulator back-reference (the
+        # snapshot layer re-binds it on restore).
+        state = self.__dict__.copy()
+        state["sim"] = None
+        return state
 
     def prepare(self) -> None:
         pass
@@ -362,6 +416,13 @@ class MixSource:
         #: ``owners`` iteration order): apply/horizon/stable_until all
         #: read the same epoch time and ``at`` is pure in t.
         self._target_cache: Tuple[float, List[int]] = (math.nan, [])
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Snapshot support: drop the simulator back-reference (the
+        # snapshot layer re-binds it on restore).
+        state = self.__dict__.copy()
+        state["sim"] = None
+        return state
 
     def _targets(self, t: float) -> List[int]:
         cached_t, targets = self._target_cache
@@ -452,7 +513,12 @@ class EpochKernel:
         hit/miss counters reset, so energies are unaffected.
         """
         self.system.policy.reset_stats()
-        self.system.hotplug.stats = HotplugStats()
+        # Write through any fault wrapper: assigning on the wrapper would
+        # shadow the core manager's counters (organic and injected
+        # failures both record on the core), leaving the visible stats
+        # frozen at zero for the whole faulted run.
+        hotplug = self.system.hotplug
+        getattr(hotplug, "inner", hotplug).stats = HotplugStats()
         self.sim.ff_stats = FastForwardStats()
         self.system.power_model.cache_stats = PowerCacheStats()
 
@@ -822,17 +888,17 @@ class EpochKernel:
 
     # --- the unified run loop ---------------------------------------------
 
-    def run(self, source: WorkloadSource, epoch_s: float,
-            warmup_s: float = 0.0, pinned_churn: bool = True) -> KernelRun:
-        """Drive *source* from warmup to ``source.duration_s``.
+    def begin(self, source: WorkloadSource, epoch_s: float,
+              warmup_s: float = 0.0,
+              pinned_churn: bool = True) -> KernelRunState:
+        """Prepare *source*, spin up warmup, and open a measured span.
 
-        The measured span starts at t=0 with freshly reset statistics;
-        warmup epochs (t < 0) step the full stack so the daemon settles,
-        exactly as the pre-kernel loops did.
+        Performs exactly the pre-loop work :meth:`run` used to do —
+        ``prepare``, warmup stepping, the stats reset — and returns the
+        paused :class:`KernelRunState` positioned at t=0.
         """
         if epoch_s <= 0:
             raise ConfigurationError("epoch must be positive")
-        sim = self.sim
         system = self.system
         source.prepare()
         t = -warmup_s
@@ -840,12 +906,6 @@ class EpochKernel:
             system.step(t, epoch_s)
             t += epoch_s
         self.reset_stats()
-        swap_stall_before = sim.swap.stats.stall_s
-
-        samples: List[EpochSample] = []
-        dram_energy = 0.0
-        baseline_energy = 0.0
-        residency = ResidencyStats()
         duration = source.duration_s
         use_ff = self._fast_forward_usable(pinned_churn, epoch_s)
         if TRACER.enabled:
@@ -853,70 +913,135 @@ class EpochKernel:
                          source=type(source).__name__,
                          duration_s=duration, epoch_s=epoch_s,
                          warmup_s=warmup_s, fast_forward=use_ff)
-        clock = SimClock(epoch_s)
+        return KernelRunState(
+            source=source, epoch_s=epoch_s, pinned_churn=pinned_churn,
+            use_ff=use_ff, duration_s=duration, clock=SimClock(epoch_s),
+            swap_stall_before=self.sim.swap.stats.stall_s)
+
+    def advance(self, state: KernelRunState, until_s: float = math.inf,
+                exact: bool = False) -> bool:
+        """Execute epochs of *state* until ``duration_s`` or *until_s*.
+
+        The default mode checks *until_s* only between loop iterations:
+        a fast-forward window or stable span that starts before the
+        bound still runs to its natural horizon, so the float-operation
+        stream — including the closed-form residency spans and the
+        window/span counters — is *identical* to an uninterrupted run
+        no matter where the run is paused.  This is the snapshot
+        contract: pause points are natural window boundaries.
+
+        ``exact=True`` additionally caps windows and spans at *until_s*
+        (overshooting by at most one epoch), which is what a resident
+        service needs to tick an infinite-horizon source in bounded
+        slices.  Exact runs are still deterministic for a fixed tick
+        schedule, but their stream need not match a differently-paced
+        run bit-for-bit (windows close early, splitting residency
+        spans).
+
+        Returns ``True`` once the measured span is complete.
+        """
+        sim = self.sim
+        system = self.system
+        source = state.source
+        epoch_s = state.epoch_s
+        pinned_churn = state.pinned_churn
+        use_ff = state.use_ff
+        duration = state.duration_s
+        clock = state.clock
+        samples = state.samples
+        dram_energy = state.dram_energy
+        baseline_energy = state.baseline_energy
+        residency = state.residency
+        cap = min(duration, until_s) if exact else duration
         stable_until = getattr(source, "stable_until", source.horizon)
-        while clock.now_s < duration:
-            t = clock.now_s
-            if use_ff:
-                wl_horizon = source.horizon(t)
-                if wl_horizon > t:
-                    horizon = min(wl_horizon, quiescent_horizon(system, t))
-                    if horizon > t + epoch_s:
-                        end = min(horizon, duration)
-                        bandwidth, row_miss = source.operating_point(t)
-                        dram_energy, baseline_energy = \
-                            self._fast_forward_window(
-                                clock, end, bandwidth, row_miss,
-                                pinned_churn, samples, dram_energy,
-                                baseline_energy, residency)
-                        continue
-                # No quiescent window — the monitor is armed, or the one
-                # ahead is too short.  Try a *stable* span instead: the
-                # weaker promise that apply() no-ops and the operating
-                # point holds, capped before the monitor can fire.  With
-                # churn the span must stay a no-op while churn moves
-                # memory, which only strict owner steadiness (== the
-                # horizon's veto) guarantees.
-                stable = wl_horizon if pinned_churn else stable_until(t)
-                if stable > t:
-                    n = self._plan_stable_span(t, epoch_s,
-                                               min(stable, duration))
-                    if n >= 2:
-                        bandwidth, row_miss = source.operating_point(t)
-                        dram_energy, baseline_energy = \
-                            self._stable_span_window(
-                                clock, n, bandwidth, row_miss,
-                                pinned_churn, samples, dram_energy,
-                                baseline_energy, residency)
-                        continue
-            system.advance_time(t)
-            source.apply(t)
-            if pinned_churn:
-                sim._pinned_churn(t, epoch_s)
-            system.step(t, epoch_s)
-            bandwidth, row_miss = source.operating_point(t)
-            sample = self._sample(t, bandwidth, row_miss)
-            samples.append(sample)
-            dram_energy += sample.dram_power_w * epoch_s
-            baseline_energy += self._baseline_power_w(bandwidth,
-                                                      row_miss) * epoch_s
-            residency.add_span(
-                epoch_s,
-                min(1.0, bandwidth / PEAK_DRAM_BANDWIDTH_BYTES_PER_S),
-                sample.dpd_fraction)
-            sim.ff_stats.epochs_stepped += 1
-            clock.tick()
+        try:
+            while clock.now_s < duration and clock.now_s < until_s:
+                t = clock.now_s
+                if use_ff:
+                    wl_horizon = source.horizon(t)
+                    if wl_horizon > t:
+                        horizon = min(wl_horizon,
+                                      quiescent_horizon(system, t))
+                        if horizon > t + epoch_s:
+                            end = min(horizon, cap)
+                            bandwidth, row_miss = source.operating_point(t)
+                            dram_energy, baseline_energy = \
+                                self._fast_forward_window(
+                                    clock, end, bandwidth, row_miss,
+                                    pinned_churn, samples, dram_energy,
+                                    baseline_energy, residency)
+                            continue
+                    # No quiescent window — the monitor is armed, or the
+                    # one ahead is too short.  Try a *stable* span: the
+                    # weaker promise that apply() no-ops and the
+                    # operating point holds, capped before the monitor
+                    # can fire.  With churn the span must stay a no-op
+                    # while churn moves memory, which only strict owner
+                    # steadiness (== the horizon's veto) guarantees.
+                    stable = wl_horizon if pinned_churn else stable_until(t)
+                    if stable > t:
+                        n = self._plan_stable_span(t, epoch_s,
+                                                   min(stable, cap))
+                        if n >= 2:
+                            bandwidth, row_miss = source.operating_point(t)
+                            dram_energy, baseline_energy = \
+                                self._stable_span_window(
+                                    clock, n, bandwidth, row_miss,
+                                    pinned_churn, samples, dram_energy,
+                                    baseline_energy, residency)
+                            continue
+                system.advance_time(t)
+                source.apply(t)
+                if pinned_churn:
+                    sim._pinned_churn(t, epoch_s)
+                system.step(t, epoch_s)
+                bandwidth, row_miss = source.operating_point(t)
+                sample = self._sample(t, bandwidth, row_miss)
+                samples.append(sample)
+                dram_energy += sample.dram_power_w * epoch_s
+                baseline_energy += self._baseline_power_w(
+                    bandwidth, row_miss) * epoch_s
+                residency.add_span(
+                    epoch_s,
+                    min(1.0, bandwidth / PEAK_DRAM_BANDWIDTH_BYTES_PER_S),
+                    sample.dpd_fraction)
+                sim.ff_stats.epochs_stepped += 1
+                clock.tick()
+        finally:
+            state.dram_energy = dram_energy
+            state.baseline_energy = baseline_energy
+        return clock.now_s >= duration
+
+    def finish(self, state: KernelRunState) -> KernelRun:
+        """Close the measured span: publish stats, shape the result."""
         self._publish_ff_stats()
-        residency_mod.record_run(residency, dram_energy, baseline_energy,
-                                 duration)
+        residency_mod.record_run(state.residency, state.dram_energy,
+                                 state.baseline_energy, state.duration_s)
         if TRACER.enabled:
-            TRACER.event("kernel.run_end", t_s=duration,
-                         samples=len(samples), dram_energy_j=dram_energy,
-                         baseline_dram_energy_j=baseline_energy)
-        return KernelRun(samples=samples,
-                         dram_energy_j=dram_energy,
-                         baseline_dram_energy_j=baseline_energy,
-                         swap_stall_s=(sim.swap.stats.stall_s
-                                       - swap_stall_before),
-                         duration_s=duration,
-                         residency=residency)
+            TRACER.event("kernel.run_end", t_s=state.duration_s,
+                         samples=len(state.samples),
+                         dram_energy_j=state.dram_energy,
+                         baseline_dram_energy_j=state.baseline_energy)
+        state.finished = True
+        return KernelRun(samples=state.samples,
+                         dram_energy_j=state.dram_energy,
+                         baseline_dram_energy_j=state.baseline_energy,
+                         swap_stall_s=(self.sim.swap.stats.stall_s
+                                       - state.swap_stall_before),
+                         duration_s=state.duration_s,
+                         residency=state.residency)
+
+    def run(self, source: WorkloadSource, epoch_s: float,
+            warmup_s: float = 0.0, pinned_churn: bool = True) -> KernelRun:
+        """Drive *source* from warmup to ``source.duration_s``.
+
+        The measured span starts at t=0 with freshly reset statistics;
+        warmup epochs (t < 0) step the full stack so the daemon settles,
+        exactly as the pre-kernel loops did.  ``begin`` + unbounded
+        ``advance`` + ``finish`` performs the identical operation
+        sequence the monolithic loop did, so the golden contract holds.
+        """
+        state = self.begin(source, epoch_s, warmup_s=warmup_s,
+                           pinned_churn=pinned_churn)
+        self.advance(state)
+        return self.finish(state)

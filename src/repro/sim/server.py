@@ -338,6 +338,28 @@ class ServerSimulator:
         :meth:`repro.sim.kernel.EpochKernel.reset_stats`)."""
         self.kernel.reset_stats()
 
+    # --- checkpoint/restore ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The full server-side state tree: the system's, plus swap, the
+        pinned-churn RNG/extents, and the fast-forward accounting."""
+        return {"system": self.system.state_dict(),
+                "swap": self.swap.state_dict(),
+                "rng": self.rng.getstate(),
+                "pinned": self._pinned,
+                "pin_seq": self._pin_seq,
+                "fast_forward": self.fast_forward,
+                "ff_stats": self.ff_stats}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.system.load_state_dict(state["system"])
+        self.swap.load_state_dict(state["swap"])
+        self.rng.setstate(state["rng"])
+        self._pinned = state["pinned"]
+        self._pin_seq = state["pin_seq"]
+        self.fast_forward = state["fast_forward"]
+        self.ff_stats = state["ff_stats"]
+
     # --- single-profile runs (SPEC / data-center) -----------------------------
 
     def run_workload(self, profile: WorkloadProfile, n_copies: int = 1,

@@ -90,6 +90,22 @@ class BlockStateStore:
             self._dirty.clear()
         return self
 
+    # --- checkpoint/restore -----------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Mutable mirror state (arrays + pending dirty set)."""
+        return {"used_pages": self.used_pages,
+                "unmovable_pages": self.unmovable_pages,
+                "offline": self.offline,
+                "dirty": self._dirty}
+
+    def load_state_dict(self, state: dict) -> None:
+        # In-place copies: external code may hold views of the arrays.
+        self.used_pages[:] = state["used_pages"]
+        self.unmovable_pages[:] = state["unmovable_pages"]
+        self.offline[:] = state["offline"]
+        self._dirty = set(state["dirty"])
+
     # --- vectorized views -------------------------------------------------
 
     @property
@@ -223,6 +239,31 @@ class GroupGateStore:
             return sorted(g for g in self._gated_set
                           if g not in full or g ^ 1 not in full)
         return sorted(g for g in self._gated_set if g not in full)
+
+    # --- checkpoint/restore -----------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Coverage counters, gate flags, and residency clocks."""
+        return {"cover": self.cover,
+                "gated": self.gated,
+                "offline": self.offline,
+                "offline_since_s": self.offline_since_s,
+                "offline_total_s": self.offline_total_s,
+                "gated_since_s": self.gated_since_s,
+                "gated_total_s": self.gated_total_s,
+                "full": self._full,
+                "gated_set": self._gated_set}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.cover[:] = state["cover"]
+        self.gated[:] = state["gated"]
+        self.offline[:] = state["offline"]
+        self.offline_since_s[:] = state["offline_since_s"]
+        self.offline_total_s[:] = state["offline_total_s"]
+        self.gated_since_s[:] = state["gated_since_s"]
+        self.gated_total_s[:] = state["gated_total_s"]
+        self._full = set(state["full"])
+        self._gated_set = set(state["gated_set"])
 
     # --- residency views --------------------------------------------------
 

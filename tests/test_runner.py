@@ -113,6 +113,34 @@ class TestCache:
         (tmp_path / f"{cache.key(job)}.pkl").write_bytes(b"not a pickle")
         assert cache.get(job) is None
 
+    def test_torn_meta_is_a_miss(self, tmp_path):
+        # Regression: the meta JSON used to be written directly, so a
+        # crash mid-write left a valid pickle beside torn metadata —
+        # and get() replayed the entry while entries() silently skipped
+        # it.  A torn meta must poison the whole entry instead.
+        cache = ResultCache(tmp_path)
+        job = ExperimentJob("tab1", fast=True)
+        cache.put(job, ExperimentResult("tab1", "d"), wall_s=0.0)
+        meta = tmp_path / f"{cache.key(job)}.json"
+        meta.write_text(meta.read_text()[:17])  # torn mid-write
+        assert cache.get(job) is None
+        assert not (tmp_path / f"{cache.key(job)}.pkl").exists()
+        assert not meta.exists()
+
+    def test_missing_meta_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = ExperimentJob("tab1", fast=True)
+        cache.put(job, ExperimentResult("tab1", "d"), wall_s=0.0)
+        (tmp_path / f"{cache.key(job)}.json").unlink()
+        assert cache.get(job) is None
+
+    def test_put_is_atomic(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = ExperimentJob("tab1", fast=True)
+        cache.put(job, ExperimentResult("tab1", "d"), wall_s=0.0)
+        assert cache.get(job) is not None
+        assert list(tmp_path.glob("*.tmp")) == []
+
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.put(ExperimentJob("tab1"), ExperimentResult("tab1", "d"))
@@ -286,6 +314,155 @@ class TestErrorPathDraining:
         from repro.perfcounters import drain_perf_counters
 
         assert drain_perf_counters() == {}  # nothing left loaded
+
+
+class TestTimestamps:
+    def test_events_carry_wall_and_monotonic_clocks(self):
+        metrics = MetricsBus()
+        first = metrics.emit("a")
+        second = metrics.emit("b")
+        for event in (first, second):
+            assert "ts" in event and "ts_mono" in event
+            assert event["ts_mono"] >= 0.0
+        assert second["ts_mono"] >= first["ts_mono"]
+
+    def test_report_orders_on_the_monotonic_clock(self):
+        from repro.obs.report import build_report
+
+        # Wall clock stepped backwards mid-suite (NTP): ``ts`` says
+        # late-job ran first, ``ts_mono`` knows better.
+        events = [
+            {"event": "job_end", "experiment": "late-job", "ts": 50.0,
+             "ts_mono": 2.0, "wall_s": 0.1, "cached": False},
+            {"event": "job_end", "experiment": "early-job", "ts": 100.0,
+             "ts_mono": 1.0, "wall_s": 0.1, "cached": False},
+        ]
+        report = build_report(events)
+        assert report.index("early-job") < report.index("late-job")
+
+    def test_report_falls_back_to_wall_clock(self):
+        from repro.obs.report import build_report
+
+        events = [
+            {"event": "job_end", "experiment": "second", "ts": 2.0,
+             "wall_s": 0.1, "cached": False},
+            {"event": "job_end", "experiment": "first", "ts": 1.0,
+             "wall_s": 0.1, "cached": False},
+        ]
+        report = build_report(events)
+        assert report.index("first") < report.index("second")
+
+
+class TestInterrupt:
+    def test_runner_emits_interrupted_suite_end(self, monkeypatch):
+        import repro.runner.engine as engine
+
+        def boom(job):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(engine, "_timed_execute", boom)
+        metrics = MetricsBus()
+        with pytest.raises(KeyboardInterrupt):
+            ParallelRunner(workers=1, metrics=metrics).run(
+                [ExperimentJob("tab1", fast=True)])
+        last = metrics.events[-1]
+        assert last["event"] == "suite_end"
+        assert last["interrupted"] is True
+
+    def test_fan_out_emits_interrupted_suite_end(self):
+        def boom(item):
+            raise KeyboardInterrupt
+
+        bus = MetricsBus()
+        with pytest.raises(KeyboardInterrupt):
+            fan_out(boom, [1, 2, 3], workers=1, metrics=bus)
+        last = bus.events[-1]
+        assert last["event"] == "suite_end"
+        assert last["interrupted"] is True
+
+    def test_clean_suite_end_is_not_interrupted(self):
+        import math
+
+        bus = MetricsBus()
+        fan_out(math.sqrt, [4.0], workers=1, metrics=bus)
+        assert bus.events[-1]["interrupted"] is False
+
+    def test_cli_maps_interrupt_to_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "cmd_run", boom)
+        assert cli.main(["run", "tab1"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+_SWEEP_SCRIPT = '''
+import sys
+import time
+
+from repro.runner import MetricsBus, fan_out
+
+
+def crawl(x):
+    time.sleep(30)
+    return x
+
+
+if __name__ == "__main__":
+    bus = MetricsBus(path=sys.argv[1])
+    try:
+        fan_out(crawl, list(range(8)), workers=2, metrics=bus)
+    except KeyboardInterrupt:
+        sys.exit(130)
+    sys.exit(0)
+'''
+
+
+class TestInterruptedSweepSubprocess:
+    def test_sigint_cancels_a_two_worker_sweep(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        script = tmp_path / "sweep.py"
+        script.write_text(_SWEEP_SCRIPT)
+        metrics_path = tmp_path / "metrics.jsonl"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")]))
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(metrics_path)],
+            cwd="/root/repo", env=env)
+        try:
+            # Wait until the sweep has actually started jobs, then
+            # interrupt it mid-flight.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if metrics_path.exists() \
+                        and "job_start" in metrics_path.read_text():
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("sweep never started")
+            time.sleep(0.5)
+            proc.send_signal(signal.SIGINT)
+            returncode = proc.wait(timeout=60.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        # 8 jobs x 30 s on 2 workers would run for minutes; the
+        # interrupt must stop the sweep promptly, exit non-zero, and
+        # close the metrics stream with an interrupted suite_end.
+        assert returncode == 130
+        events = [json.loads(line)
+                  for line in metrics_path.read_text().splitlines()]
+        assert events[-1]["event"] == "suite_end"
+        assert events[-1]["interrupted"] is True
 
 
 class TestUtilization:
